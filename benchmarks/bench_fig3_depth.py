@@ -1,0 +1,30 @@
+"""Figure 3 — impact of model depth (propagation layers 0–3).
+
+The paper plots HR/NDCG change relative to GNMR-2 on MovieLens and Yelp:
+depth 2–3 beats depth 1 beats depth 0 (no message passing), with returns
+flattening or dipping at 3.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_results
+from repro.experiments import format_table, run_fig3
+
+
+@pytest.mark.parametrize("dataset", ["movielens", "yelp"])
+def test_fig3_depth_sweep(benchmark, bench_scale, dataset):
+    results = run_once(benchmark, run_fig3, dataset, bench_scale)
+    save_results(f"fig3_{dataset}", results)
+    table = {f"GNMR-{depth}": row for depth, row in results.items()}
+    print()
+    print(format_table(table, title=f"Figure 3 — depth sweep on {dataset}"))
+
+    for row in results.values():
+        assert 0.0 <= row["NDCG@10"] <= row["HR@10"] <= 1.0
+    assert results[2]["HR% vs GNMR-2"] == pytest.approx(0.0)
+
+    # shape: message passing (depth ≥ 1) should beat no propagation (depth 0)
+    best_deep = max(results[d]["HR@10"] for d in (1, 2, 3))
+    print(f"best propagated HR@10 = {best_deep:.3f} vs depth-0 = "
+          f"{results[0]['HR@10']:.3f}")
+    assert best_deep >= results[0]["HR@10"]

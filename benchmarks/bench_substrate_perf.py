@@ -1,0 +1,80 @@
+"""Substrate micro-benchmarks: genuine timing benchmarks (multiple rounds).
+
+These measure the performance-critical primitives the reproduction is
+built on — autograd matmul, sparse propagation, GNMR forward/backward —
+so regressions in the engine show up here rather than as mysteriously
+slow table benches.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import Adam, pairwise_hinge_loss
+from repro.tensor import SparseAdjacency, Tensor
+
+
+@pytest.fixture(scope="module")
+def gnmr_setup():
+    from repro.core import GNMR, GNMRConfig
+    from repro.data import taobao_like
+
+    data = taobao_like(num_users=100, num_items=200, seed=0)
+    model = GNMR(data, GNMRConfig(pretrain=False, seed=0))
+    return model
+
+
+def test_bench_dense_matmul_grad(benchmark):
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.standard_normal((256, 128)), requires_grad=True)
+    b = Tensor(rng.standard_normal((128, 64)), requires_grad=True)
+
+    def step():
+        a.zero_grad()
+        b.zero_grad()
+        (a.matmul(b)).sum().backward()
+
+    benchmark(step)
+
+
+def test_bench_sparse_propagation(benchmark):
+    rng = np.random.default_rng(1)
+    adjacency = SparseAdjacency(sp.random(2000, 3000, density=0.01, random_state=2))
+    h = Tensor(rng.standard_normal((3000, 16)), requires_grad=True)
+
+    def step():
+        h.zero_grad()
+        adjacency.matmul(h).sum().backward()
+
+    benchmark(step)
+
+
+def test_bench_gnmr_forward(benchmark, gnmr_setup):
+    model = gnmr_setup
+    users = np.arange(32)
+    items = np.arange(32)
+
+    def step():
+        model.on_step_end()  # force fresh propagation
+        return model.score(users, items)
+
+    benchmark(step)
+
+
+def test_bench_gnmr_train_step(benchmark, gnmr_setup):
+    model = gnmr_setup
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(3)
+
+    def step():
+        users = rng.integers(0, model.num_users, 32)
+        pos = rng.integers(0, model.num_items, 32)
+        neg = rng.integers(0, model.num_items, 32)
+        pos_s, neg_s = model.batch_scores(users, pos, neg)
+        loss = pairwise_hinge_loss(pos_s, neg_s)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        model.on_step_end()
+
+    benchmark(step)

@@ -1,0 +1,28 @@
+"""Table I — dataset statistics.
+
+Regenerates the paper's dataset-statistics table for the three synthetic
+stand-ins (schema, user/item counts, per-behavior interaction counts).
+"""
+
+from benchmarks.conftest import run_once, save_results
+from repro.experiments import format_table, run_table1
+
+
+def test_table1_dataset_statistics(benchmark, bench_scale):
+    rows = run_once(benchmark, run_table1, bench_scale)
+    save_results("table1", rows)
+    printable = {
+        name: {k: v for k, v in row.items() if k != "per-behavior"}
+        for name, row in rows.items()
+    }
+    print()
+    print(format_table(printable, title="Table I — dataset statistics (synthetic)"))
+    for name, row in rows.items():
+        print(f"  {name}: {row['per-behavior']}")
+    # schema invariants from the paper
+    assert rows["taobao-like"]["Interactive Behavior Type"] == \
+        "{page_view, favorite, cart, purchase}"
+    assert rows["movielens-like"]["Interactive Behavior Type"] == \
+        "{dislike, neutral, like}"
+    assert rows["yelp-like"]["Interactive Behavior Type"] == \
+        "{tip, dislike, neutral, like}"

@@ -1,0 +1,52 @@
+"""Table II — overall performance comparison (13 models × 3 datasets).
+
+Regenerates the paper's headline table: HR@10 and NDCG@10 for every
+baseline and GNMR on MovieLens-like, Yelp-like and Taobao-like data.
+The reproduction target is the *shape*: GNMR on top, multi-behavior
+baselines (NMTR/DIPN) competitive, not the absolute values (synthetic
+data at laptop scale).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, save_results
+from repro.experiments import (
+    MODEL_NAMES,
+    MULTI_BEHAVIOR_MODELS,
+    PAPER_TABLE2,
+    format_comparison,
+    run_table2,
+)
+
+
+@pytest.mark.parametrize("dataset", ["movielens", "yelp", "taobao"])
+def test_table2_overall_performance(benchmark, bench_scale, dataset):
+    results = run_once(benchmark, run_table2, dataset, bench_scale)
+    save_results(f"table2_{dataset}", results)
+    paper = {m: PAPER_TABLE2[m][dataset] for m in MODEL_NAMES}
+    print()
+    print(format_comparison(results, paper,
+                            title=f"Table II — {dataset} (ours vs paper)"))
+
+    ranking = sorted(results, key=lambda m: results[m]["HR@10"], reverse=True)
+    print(f"ranking by HR@10: {ranking}")
+    gnmr_rank = ranking.index("GNMR")
+    print(f"GNMR rank: {gnmr_rank + 1} / {len(ranking)}")
+
+    # sanity: all metrics valid
+    for model, row in results.items():
+        assert 0.0 <= row["NDCG@10"] <= row["HR@10"] <= 1.0, model
+    # Shape: the paper reports GNMR strictly first on all datasets. At
+    # laptop-scale synthetic data the per-run HR@10 std is ≈ sqrt(p(1−p)/U)
+    # (~0.04 at U=150 test users), so instead of asserting a literal rank we
+    # require GNMR to be statistically indistinguishable from the best model
+    # and at least median overall; EXPERIMENTS.md reports the exact ranks.
+    from repro.analysis import metric_std_error
+
+    best_hr = results[ranking[0]]["HR@10"]
+    sigma = metric_std_error(best_hr, bench_scale.num_users)
+    tolerance = max(0.06, 1.5 * sigma)
+    assert results["GNMR"]["HR@10"] >= best_hr - tolerance, \
+        f"GNMR trails the best model by more than {tolerance:.3f} HR@10 on {dataset}"
+    median_hr = sorted(row["HR@10"] for row in results.values())[len(results) // 2]
+    assert results["GNMR"]["HR@10"] >= median_hr - 1e-9

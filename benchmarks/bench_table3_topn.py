@@ -1,0 +1,38 @@
+"""Table III — ranking quality at varying top-N on Yelp.
+
+Regenerates HR@N and NDCG@N for N ∈ {1,3,5,7,9} on the Yelp-like dataset
+for the seven models the paper reports.
+"""
+
+from benchmarks.conftest import run_once, save_results
+from repro.experiments import PAPER_TABLE3, format_table, run_table3
+
+
+def test_table3_topn_sweep(benchmark, bench_scale):
+    results = run_once(benchmark, run_table3, bench_scale)
+    save_results("table3", results)
+
+    for metric in ("HR", "NDCG"):
+        table = {
+            model: {f"@{n}": rows[metric][n] for n in (1, 3, 5, 7, 9)}
+            for model, rows in results.items()
+        }
+        print()
+        print(format_table(table, title=f"Table III — Yelp {metric}@N (ours)"))
+        paper_table = {
+            model: {f"@{n}": PAPER_TABLE3[model][metric][n] for n in (1, 3, 5, 7, 9)}
+            for model in PAPER_TABLE3
+        }
+        print(format_table(paper_table, title=f"Table III — Yelp {metric}@N (paper)"))
+
+    for model, rows in results.items():
+        hr_series = [rows["HR"][n] for n in (1, 3, 5, 7, 9)]
+        # HR@N is monotone in N by construction
+        assert all(a <= b + 1e-12 for a, b in zip(hr_series, hr_series[1:])), model
+        for n in (1, 3, 5, 7, 9):
+            assert rows["NDCG"][n] <= rows["HR"][n] + 1e-12, model
+
+    # shape: GNMR leads at the largest cutoff
+    ranking = sorted(results, key=lambda m: results[m]["HR"][9], reverse=True)
+    print(f"ranking by HR@9: {ranking}")
+    assert ranking.index("GNMR") <= 1

@@ -1,0 +1,76 @@
+"""E-commerce scenario: quantify the value of auxiliary behaviors.
+
+The paper's motivating claim is that browse/favorite/cart signals improve
+purchase prediction. This example trains GNMR four ways on the same
+Taobao-like funnel data —
+
+* full multi-behavior graph (the paper's GNMR),
+* purchase-only graph ("only like" in Table IV),
+* GNMR without the cart signal,
+* the NMTR multi-behavior baseline —
+
+and reports the lift, plus the learned cross-behavior attention matrix
+showing which behaviors inform each other.
+
+Run:  python examples/ecommerce_multi_behavior.py
+"""
+
+import numpy as np
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import build_eval_candidates, leave_one_out_split, taobao_like
+from repro.eval import evaluate_model
+from repro.experiments import format_table
+from repro.models import NMTR
+from repro.train import TrainConfig
+
+TRAIN = TrainConfig(epochs=36, steps_per_epoch=12, batch_users=24,
+                    per_user=3, lr=5e-3, seed=11)
+
+
+def main() -> None:
+    data = taobao_like(num_users=120, num_items=240, seed=5)
+    split = leave_one_out_split(data)
+    candidates = build_eval_candidates(split.train, split.test_users,
+                                       split.test_items, num_negatives=99,
+                                       rng=np.random.default_rng(2))
+    base = GNMRConfig(pretrain=True, pretrain_epochs=8, seed=11)
+
+    results: dict[str, dict[str, float]] = {}
+
+    def record(label: str, model) -> None:
+        model.fit(split.train, TRAIN)
+        outcome = evaluate_model(model, candidates)
+        results[label] = {"HR@10": outcome.hr(10), "NDCG@10": outcome.ndcg(10)}
+        print(f"  done: {label}")
+
+    print("Training four models on the same purchase-prediction task...")
+    full = GNMR(split.train, base)
+    record("GNMR (all behaviors)", full)
+    record("GNMR (purchase only)",
+           GNMR(split.train, base.variant(graph_behaviors=("purchase",))))
+    record("GNMR (w/o cart)",
+           GNMR(split.train, base.variant(
+               graph_behaviors=("page_view", "favorite", "purchase"))))
+    record("NMTR baseline", NMTR(split.train, seed=11))
+
+    print()
+    print(format_table(results, title="Purchase prediction on taobao-like data"))
+
+    only = results["GNMR (purchase only)"]["HR@10"]
+    all_b = results["GNMR (all behaviors)"]["HR@10"]
+    if only > 0:
+        print(f"\nAuxiliary-behavior lift: {100 * (all_b - only) / only:+.1f}% HR@10")
+
+    print("\nCross-behavior attention (rows attend to columns, layer 1):")
+    attention = full.behavior_attention()
+    names = full.behavior_names
+    header = "            " + "  ".join(f"{n[:9]:>9s}" for n in names)
+    print(header)
+    for name, row in zip(names, attention):
+        cells = "  ".join(f"{v:9.3f}" for v in row)
+        print(f"  {name[:9]:>9s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

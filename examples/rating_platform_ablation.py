@@ -1,0 +1,70 @@
+"""Rating-platform scenario: MovieLens-style behaviors from rating scores.
+
+Reproduces the paper's §IV-A mapping (r ≤ 2 dislike, 2 < r < 4 neutral,
+r ≥ 4 like) on synthetic MovieLens-like data and runs the component
+ablation of Figure 2: GNMR vs GNMR-be (no type-specific behavior
+embedding) vs GNMR-ma (no cross-behavior attention), plus a propagation
+depth sweep (Figure 3, depths 0-3).
+
+Run:  python examples/rating_platform_ablation.py
+"""
+
+import numpy as np
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import build_eval_candidates, leave_one_out_split, movielens_like
+from repro.eval import evaluate_model
+from repro.experiments import format_table
+from repro.train import TrainConfig
+
+TRAIN = TrainConfig(epochs=36, steps_per_epoch=12, batch_users=24,
+                    per_user=3, lr=5e-3, seed=4)
+
+
+def evaluate_variant(split, candidates, config: GNMRConfig) -> dict[str, float]:
+    model = GNMR(split.train, config)
+    model.fit(split.train, TRAIN)
+    outcome = evaluate_model(model, candidates)
+    return {"HR@10": outcome.hr(10), "NDCG@10": outcome.ndcg(10)}
+
+
+def main() -> None:
+    data = movielens_like(num_users=120, num_items=240, seed=8)
+    print("Dataset:", data.describe())
+    per_behavior = {b: data.interaction_count(b) for b in data.behavior_names}
+    print("Interactions per behavior (from the rating mapping):", per_behavior)
+
+    split = leave_one_out_split(data)
+    candidates = build_eval_candidates(split.train, split.test_users,
+                                       split.test_items, num_negatives=99,
+                                       rng=np.random.default_rng(3))
+    base = GNMRConfig(pretrain=True, pretrain_epochs=8, seed=4)
+
+    print("\n--- Figure 2: component ablation ---")
+    ablation = {
+        "GNMR-be": evaluate_variant(split, candidates,
+                                    base.variant(use_behavior_embedding=False)),
+        "GNMR-ma": evaluate_variant(split, candidates,
+                                    base.variant(use_message_attention=False)),
+        "GNMR": evaluate_variant(split, candidates, base),
+    }
+    print(format_table(ablation, title="Component ablation (movielens-like)"))
+
+    print("\n--- Figure 3: propagation depth ---")
+    depth_rows: dict[str, dict[str, float]] = {}
+    absolute: dict[int, dict[str, float]] = {}
+    for depth in (0, 1, 2, 3):
+        absolute[depth] = evaluate_variant(split, candidates,
+                                           base.variant(num_layers=depth))
+    ref = absolute[2]
+    for depth, row in absolute.items():
+        depth_rows[f"GNMR-{depth}"] = {
+            "HR@10": row["HR@10"],
+            "NDCG@10": row["NDCG@10"],
+            "HR% vs L2": 100.0 * (row["HR@10"] - ref["HR@10"]) / max(ref["HR@10"], 1e-9),
+        }
+    print(format_table(depth_rows, title="Depth sweep (movielens-like)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 517
+editable installs (which require ``bdist_wheel``) fail. This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` (and plain
+``python setup.py develop``) work without network access.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "GNMR: Multi-Behavior Enhanced Recommendation with Cross-Interaction "
+        "Collaborative Relation Modeling (ICDE 2021) — full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+)

@@ -1,0 +1,25 @@
+"""Learning-curve extraction: metric-vs-epoch from a trained history."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.dataset import InteractionDataset
+from repro.eval import evaluate_model
+from repro.train import TrainConfig
+from repro.train.callbacks import HistoryRecorder
+
+
+def learning_curve(model, train: InteractionDataset, candidates,
+                   config: TrainConfig,
+                   metric: Callable | None = None) -> HistoryRecorder:
+    """Train ``model`` with a per-epoch evaluation callback.
+
+    Returns the history whose ``metric`` series is the learning curve
+    (default metric: HR@10 on ``candidates``).
+    """
+    if metric is None:
+        def metric() -> float:
+            return evaluate_model(model, candidates).hr(10)
+
+    return model.fit(train, config, eval_fn=metric)

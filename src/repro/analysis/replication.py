@@ -1,0 +1,72 @@
+"""Seed-replicated evaluation of a model spec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.stats import mean_std
+from repro.data import build_eval_candidates, leave_one_out_split
+from repro.data.dataset import InteractionDataset
+from repro.eval import evaluate_model
+from repro.train import TrainConfig
+
+
+@dataclass
+class ReplicateResult:
+    """Aggregated metrics across replicate runs.
+
+    ``per_run`` holds one metrics dict per seed;
+    ``ranks`` the per-user positive ranks of each run (for paired tests).
+    """
+
+    per_run: list[dict[str, float]] = field(default_factory=list)
+    ranks: list[np.ndarray] = field(default_factory=list)
+
+    def summary(self) -> dict[str, tuple[float, float]]:
+        """metric → (mean, std) across runs."""
+        if not self.per_run:
+            return {}
+        keys = self.per_run[0].keys()
+        return {key: mean_std([run[key] for run in self.per_run]) for key in keys}
+
+    def __len__(self) -> int:
+        return len(self.per_run)
+
+
+def replicate(dataset_factory: Callable[[int], InteractionDataset],
+              model_factory: Callable[[InteractionDataset], object],
+              train_config: TrainConfig,
+              seeds: tuple[int, ...] = (0, 1, 2),
+              num_negatives: int = 99,
+              top_ns: tuple[int, ...] = (10,)) -> ReplicateResult:
+    """Train and evaluate a model spec across data seeds.
+
+    Parameters
+    ----------
+    dataset_factory:
+        seed → dataset (e.g. ``lambda s: taobao_like(seed=s)``).
+    model_factory:
+        training dataset → untrained model. A fresh model per replicate.
+    train_config:
+        Shared training hyperparameters.
+    """
+    result = ReplicateResult()
+    for seed in seeds:
+        dataset = dataset_factory(seed)
+        split = leave_one_out_split(dataset, rng=np.random.default_rng(seed))
+        candidates = build_eval_candidates(
+            split.train, split.test_users, split.test_items,
+            num_negatives=num_negatives, rng=np.random.default_rng(seed + 1))
+        model = model_factory(split.train)
+        model.fit(split.train, train_config)
+        outcome = evaluate_model(model, candidates)
+        metrics = {}
+        for n in top_ns:
+            metrics[f"HR@{n}"] = outcome.hr(n)
+            metrics[f"NDCG@{n}"] = outcome.ndcg(n)
+        result.per_run.append(metrics)
+        result.ranks.append(outcome.ranks)
+    return result

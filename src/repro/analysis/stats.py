@@ -1,0 +1,61 @@
+"""Statistical helpers for comparing recommenders fairly."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mean_std(values) -> tuple[float, float]:
+    """Sample mean and (ddof=1) standard deviation; std 0 for singletons."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("mean_std needs at least one value")
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    return mean, std
+
+
+def metric_std_error(metric_value: float, num_users: int) -> float:
+    """Binomial standard error of a per-user hit metric (e.g. HR@N).
+
+    HR@N is a mean of Bernoulli(p) indicators over test users, so its
+    sampling std is sqrt(p(1−p)/U) — the noise floor any single-run
+    comparison must clear.
+    """
+    if num_users <= 0:
+        raise ValueError("num_users must be positive")
+    p = min(max(metric_value, 0.0), 1.0)
+    return float(np.sqrt(p * (1.0 - p) / num_users))
+
+
+def bootstrap_paired_difference(ranks_a: np.ndarray, ranks_b: np.ndarray,
+                                top_n: int = 10, num_samples: int = 2000,
+                                seed: int = 0) -> dict[str, float]:
+    """Paired bootstrap over users for ΔHR@N between two models.
+
+    Both rank arrays must come from the *same* test users and candidate
+    sets (the standard paired design). Returns the observed difference
+    (A − B), the bootstrap std, and a two-sided p-value for Δ = 0.
+    """
+    ranks_a = np.asarray(ranks_a)
+    ranks_b = np.asarray(ranks_b)
+    if ranks_a.shape != ranks_b.shape:
+        raise ValueError("paired comparison needs equal-length rank arrays")
+    hits_a = (ranks_a < top_n).astype(np.float64)
+    hits_b = (ranks_b < top_n).astype(np.float64)
+    observed = float(hits_a.mean() - hits_b.mean())
+    rng = np.random.default_rng(seed)
+    n = ranks_a.size
+    diffs = np.empty(num_samples)
+    per_user = hits_a - hits_b
+    for s in range(num_samples):
+        sample = rng.integers(0, n, size=n)
+        diffs[s] = per_user[sample].mean()
+    std = float(diffs.std(ddof=1))
+    # two-sided p-value: how often the bootstrapped difference crosses zero
+    if observed >= 0:
+        tail = float(np.mean(diffs <= 0.0))
+    else:
+        tail = float(np.mean(diffs >= 0.0))
+    p_value = min(1.0, 2.0 * tail)
+    return {"difference": observed, "std": std, "p_value": p_value}

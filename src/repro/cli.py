@@ -1,0 +1,152 @@
+"""Command-line interface for the reproduction harness.
+
+Examples::
+
+    python -m repro.cli stats                       # Table I
+    python -m repro.cli run table2 --dataset yelp   # one Table-II column
+    python -m repro.cli run fig2 --dataset movielens
+    python -m repro.cli train --dataset taobao --model GNMR --epochs 20
+    python -m repro.cli report                      # regenerate EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import (
+    MODEL_NAMES,
+    SMALL_SCALE,
+    ExperimentScale,
+    dataset_by_name,
+    format_table,
+    make_model,
+    run_fig2,
+    run_fig3,
+    run_table1,
+    run_table2,
+    run_table4,
+)
+
+
+def _scale_from_args(args) -> ExperimentScale:
+    overrides = {}
+    if args.users:
+        overrides["num_users"] = args.users
+    if args.items:
+        overrides["num_items"] = args.items
+        # keep the candidate set feasible for small catalogs
+        overrides["num_negatives"] = min(SMALL_SCALE.num_negatives,
+                                         max(1, args.items // 3))
+    if getattr(args, "epochs", None):
+        overrides["epochs"] = args.epochs
+    if not overrides:
+        return SMALL_SCALE
+    from dataclasses import replace
+
+    return replace(SMALL_SCALE, **overrides)
+
+
+def cmd_stats(args) -> int:
+    rows = run_table1(_scale_from_args(args))
+    printable = {name: {k: v for k, v in row.items() if k != "per-behavior"}
+                 for name, row in rows.items()}
+    print(format_table(printable, title="Table I — dataset statistics"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    scale = _scale_from_args(args)
+    experiment = args.experiment
+    if experiment == "table2":
+        results = run_table2(args.dataset, scale)
+    elif experiment == "fig2":
+        results = run_fig2(args.dataset, scale)
+    elif experiment == "table4":
+        results = run_table4(args.dataset, scale)
+    elif experiment == "fig3":
+        results = {f"GNMR-{d}": row for d, row in run_fig3(args.dataset, scale).items()}
+    else:
+        print(f"unknown experiment {experiment!r}", file=sys.stderr)
+        return 2
+    print(format_table(results, title=f"{experiment} on {args.dataset}"))
+    if args.json:
+        print(json.dumps(results, indent=2))
+    return 0
+
+
+def cmd_train(args) -> int:
+    import numpy as np
+
+    from repro.data import build_eval_candidates, leave_one_out_split
+    from repro.eval import evaluate_model
+    from repro.utils import save_checkpoint
+
+    scale = _scale_from_args(args)
+    dataset = dataset_by_name(args.dataset, scale)
+    split = leave_one_out_split(dataset)
+    candidates = build_eval_candidates(
+        split.train, split.test_users, split.test_items,
+        num_negatives=scale.num_negatives, rng=np.random.default_rng(scale.seed))
+    model = make_model(args.model, split.train, scale)
+    print(f"training {args.model} on {dataset.name} "
+          f"({model.num_parameters():,} parameters)")
+    model.fit(split.train, scale.train_config())
+    outcome = evaluate_model(model, candidates)
+    print(f"HR@10={outcome.hr(10):.3f} NDCG@10={outcome.ndcg(10):.3f} "
+          f"MRR={outcome.mrr():.3f}")
+    if args.checkpoint:
+        path = save_checkpoint(model, args.checkpoint,
+                               metadata={"model": args.model,
+                                         "dataset": dataset.name,
+                                         "HR@10": outcome.hr(10)})
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import OUTPUT, generate
+
+    OUTPUT.write_text(generate())
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="GNMR reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="print Table-I dataset statistics")
+    p_run = sub.add_parser("run", help="run one paper experiment")
+    p_run.add_argument("experiment",
+                       choices=["table2", "fig2", "table4", "fig3"])
+    p_run.add_argument("--dataset", default="taobao",
+                       choices=["movielens", "yelp", "taobao"])
+    p_run.add_argument("--json", action="store_true",
+                       help="also dump results as JSON")
+    p_train = sub.add_parser("train", help="train and evaluate one model")
+    p_train.add_argument("--model", default="GNMR", choices=list(MODEL_NAMES))
+    p_train.add_argument("--dataset", default="taobao",
+                         choices=["movielens", "yelp", "taobao"])
+    p_train.add_argument("--checkpoint", default=None,
+                         help="write a .npz checkpoint here")
+    sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
+
+    for p in (p_stats, p_run, p_train):
+        p.add_argument("--users", type=int, default=None)
+        p.add_argument("--items", type=int, default=None)
+        p.add_argument("--epochs", type=int, default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"stats": cmd_stats, "run": cmd_run,
+                "train": cmd_train, "report": cmd_report}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""GNMR — the paper's primary contribution.
+
+The model is assembled from three layers (paper §III):
+
+* :class:`~repro.core.layers.BehaviorEmbeddingLayer` — η(·), the
+  memory-gated type-specific message constructor (Eq. 2);
+* :class:`~repro.core.layers.CrossBehaviorAttention` — ξ(·), multi-head
+  attention over behavior types (Eq. 3);
+* :class:`~repro.core.layers.GatedMessageAggregation` — ψ(·), the
+  importance-weighted fusion across behavior types (Eq. 4–5);
+
+stacked L times by :class:`~repro.core.gnmr.GNMR`, scored by multi-order
+matching, trained with the pairwise hinge loss (Eq. 7), and initialized by
+the autoencoder pre-training scheme in :mod:`repro.core.pretrain`.
+"""
+
+from repro.core.config import GNMRConfig
+from repro.core.gnmr import GNMR
+from repro.core.layers import (
+    BehaviorEmbeddingLayer,
+    CrossBehaviorAttention,
+    GatedMessageAggregation,
+    GNMRPropagationLayer,
+)
+from repro.core.pretrain import AutoencoderPretrainer, pretrain_embeddings
+
+__all__ = [
+    "GNMR",
+    "GNMRConfig",
+    "BehaviorEmbeddingLayer",
+    "CrossBehaviorAttention",
+    "GatedMessageAggregation",
+    "GNMRPropagationLayer",
+    "AutoencoderPretrainer",
+    "pretrain_embeddings",
+]

@@ -1,0 +1,257 @@
+"""The GNMR recommender (paper §III, Figure 1).
+
+Full-graph propagation: starting from (pre-trained) order-0 embeddings, L
+:class:`~repro.core.layers.GNMRPropagationLayer` applications produce
+multi-order user/item embeddings H⁰..H^L; the preference score is the
+multi-order matching Σ_l H^l_u · H^l_v, trained with the pairwise hinge
+loss of Eq. (7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import GNMRConfig
+from repro.core.layers import GNMRPropagationLayer
+from repro.core.pretrain import pretrain_embeddings
+from repro.data.dataset import InteractionDataset
+from repro.models.base import Recommender
+from repro.nn import init as init_schemes
+from repro.nn.layers import Dropout
+from repro.nn.module import ModuleList, Parameter
+from repro.tensor import Tensor, no_grad
+from repro.tensor.sparse import SparseAdjacency
+
+
+class GNMR(Recommender):
+    """Graph Neural Multi-Behavior Enhanced Recommendation.
+
+    Parameters
+    ----------
+    dataset:
+        Training dataset; its interaction graph defines the propagation
+        structure and its ``target_behavior`` the prediction task.
+    config:
+        Hyperparameters (see :class:`~repro.core.config.GNMRConfig`).
+
+    Notes
+    -----
+    The ablations of §IV-C/D/E map to configuration, not separate classes:
+
+    * GNMR-be — ``config.variant(use_behavior_embedding=False)``;
+    * GNMR-ma — ``config.variant(use_message_attention=False)``;
+    * depth sweep — ``config.variant(num_layers=L)``;
+    * behavior subsets — ``dataset.drop_behaviors([...])`` / ``only_target()``.
+    """
+
+    name = "GNMR"
+
+    def __init__(self, dataset: InteractionDataset, config: GNMRConfig | None = None):
+        super().__init__(dataset.num_users, dataset.num_items)
+        self.config = config or GNMRConfig()
+        self.dataset = dataset
+        if self.config.graph_behaviors is None:
+            self.behavior_names = dataset.behavior_names
+        else:
+            unknown = set(self.config.graph_behaviors) - set(dataset.behavior_names)
+            if unknown:
+                raise ValueError(f"graph_behaviors not in dataset: {sorted(unknown)}")
+            self.behavior_names = tuple(self.config.graph_behaviors)
+        rng = np.random.default_rng(self.config.seed)
+        cfg = self.config
+
+        graph = dataset.graph()
+        mode = "row" if cfg.aggregator == "mean" else None
+        self._user_adjacencies: list[SparseAdjacency] = []
+        self._item_adjacencies: list[SparseAdjacency] = []
+        for behavior in self.behavior_names:
+            if mode == "row":
+                self._user_adjacencies.append(graph.normalized_adjacency(behavior, "row"))
+                # item side: normalize over the item's user neighborhood
+                self._item_adjacencies.append(
+                    SparseAdjacency(graph.adjacency(behavior).matrix.T).normalized("row")
+                )
+            else:
+                self._user_adjacencies.append(graph.adjacency(behavior))
+                self._item_adjacencies.append(SparseAdjacency(graph.adjacency(behavior).matrix.T))
+
+        # order-0 embeddings (autoencoder pre-training per §III-A)
+        if cfg.pretrain:
+            user_init, item_init = pretrain_embeddings(
+                dataset, cfg.embedding_dim, epochs=cfg.pretrain_epochs,
+                lr=cfg.pretrain_lr, seed=cfg.seed,
+            )
+        else:
+            user_init = init_schemes.xavier_normal((self.num_users, cfg.embedding_dim), rng)
+            item_init = init_schemes.xavier_normal((self.num_items, cfg.embedding_dim), rng)
+        self.user_embeddings = Parameter(user_init, name="user_embeddings")
+        self.item_embeddings = Parameter(item_init, name="item_embeddings")
+
+        # optional attribute extension (paper's future work): project side
+        # features into the embedding space and add them at order 0
+        self.user_feature_proj = None
+        self.item_feature_proj = None
+        self._user_feature_input: Tensor | None = None
+        self._item_feature_input: Tensor | None = None
+        if cfg.use_side_features:
+            if dataset.user_features is None or dataset.item_features is None:
+                raise ValueError("use_side_features requires dataset features "
+                                 "(see repro.data.synthesize_attributes)")
+            from repro.nn.layers import Linear
+
+            self.user_feature_proj = Linear(dataset.user_features.shape[1],
+                                            cfg.embedding_dim, rng=rng)
+            self.item_feature_proj = Linear(dataset.item_features.shape[1],
+                                            cfg.embedding_dim, rng=rng)
+            self._user_feature_input = Tensor(dataset.user_features)
+            self._item_feature_input = Tensor(dataset.item_features)
+
+        self.layers = ModuleList([
+            GNMRPropagationLayer(
+                cfg.embedding_dim, cfg.memory_dims, cfg.num_heads, rng,
+                use_behavior_embedding=cfg.use_behavior_embedding,
+                use_message_attention=cfg.use_message_attention,
+                use_gated_aggregation=cfg.use_gated_aggregation,
+            )
+            for _ in range(cfg.num_layers)
+        ])
+        self.dropout = Dropout(cfg.dropout, rng=rng) if cfg.dropout > 0 else None
+
+        self._cache: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+    def _order0(self) -> tuple[Tensor, Tensor]:
+        """Order-0 embeddings, with projected side features when enabled."""
+        h_user: Tensor = self.user_embeddings
+        h_item: Tensor = self.item_embeddings
+        if self.user_feature_proj is not None:
+            h_user = h_user + self.user_feature_proj(self._user_feature_input)
+            h_item = h_item + self.item_feature_proj(self._item_feature_input)
+        return h_user, h_item
+
+    def propagate(self) -> tuple[list[Tensor], list[Tensor]]:
+        """Compute multi-order embeddings [H⁰..H^L] for users and items."""
+        h_user, h_item = self._order0()
+        user_layers: list[Tensor] = [h_user]
+        item_layers: list[Tensor] = [h_item]
+        for layer in self.layers:
+            next_user = layer.propagate_side(self._user_adjacencies, h_item)
+            next_item = layer.propagate_side(self._item_adjacencies, h_user)
+            if self.config.self_connection:
+                next_user = next_user + h_user
+                next_item = next_item + h_item
+            if self.dropout is not None:
+                next_user = self.dropout(next_user)
+                next_item = self.dropout(next_item)
+            user_layers.append(next_user)
+            item_layers.append(next_item)
+            h_user, h_item = next_user, next_item
+        return user_layers, item_layers
+
+    def _match(self, user_layers: list[Tensor], item_layers: list[Tensor],
+               users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Multi-order matching: Σ_l ⟨H^l_u, H^l_v⟩ for index pairs."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        total: Tensor | None = None
+        for h_user, h_item in zip(user_layers, item_layers):
+            picked_u = h_user.gather_rows(users)
+            picked_v = h_item.gather_rows(items)
+            dot = (picked_u * picked_v).sum(axis=1)
+            total = dot if total is None else total + dot
+        if self.config.layer_combination == "mean":
+            total = total * (1.0 / (self.config.num_layers + 1))
+        return total
+
+    # ------------------------------------------------------------------
+    # Recommender interface
+    # ------------------------------------------------------------------
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        user_layers, item_layers = self.propagate()
+        return self._match(user_layers, item_layers, users, items)
+
+    def batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                     neg_items: np.ndarray) -> tuple[Tensor, Tensor]:
+        """One propagation pass shared by the positive and negative sides."""
+        user_layers, item_layers = self.propagate()
+        pos = self._match(user_layers, item_layers, users, pos_items)
+        neg = self._match(user_layers, item_layers, users, neg_items)
+        return pos, neg
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Inference scores using cached propagated embeddings."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        user_arrays, item_arrays = self._propagated_arrays()
+        total = np.zeros(users.shape, dtype=np.float64)
+        for hu, hv in zip(user_arrays, item_arrays):
+            total += np.sum(hu[users] * hv[items], axis=1)
+        if self.config.layer_combination == "mean":
+            total /= (self.config.num_layers + 1)
+        return total
+
+    def _propagated_arrays(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        if self._cache is None:
+            was_training = self.training
+            if was_training:
+                self.eval()  # dropout must be off for cached inference
+            try:
+                with no_grad():
+                    user_layers, item_layers = self.propagate()
+            finally:
+                if was_training:
+                    self.train()
+            self._cache = ([t.data for t in user_layers], [t.data for t in item_layers])
+        return self._cache
+
+    def on_step_end(self) -> None:
+        """Parameters changed — drop the cached propagation."""
+        self._cache = None
+
+    # ------------------------------------------------------------------
+    # introspection (used by examples and tests)
+    # ------------------------------------------------------------------
+    def behavior_attention(self) -> np.ndarray:
+        """Average cross-behavior attention matrix of the first layer.
+
+        Returns an array of shape (K, K) — how much each behavior type
+        attends to each other when recalibrating messages; useful for
+        inspecting learned behavior dependencies.
+        """
+        if not self.layers or self.layers[0].attention is None:
+            raise RuntimeError("model has no attention layer (GNMR-ma or 0 layers)")
+        with no_grad():
+            per_type = []
+            layer = self.layers[0]
+            for adjacency in self._user_adjacencies:
+                aggregated = adjacency.matmul(self.item_embeddings)
+                if layer.behavior_embedding is not None:
+                    aggregated = layer.behavior_embedding(aggregated)
+                per_type.append(aggregated)
+            from repro.tensor.tensor import stack
+
+            stacked = stack(per_type, axis=1)
+            _, weights = layer.attention(stacked)
+        return weights.data.mean(axis=(0, 1))
+
+    def behavior_importance(self) -> np.ndarray:
+        """Average ψ gate weights per behavior type (K,) on the user side."""
+        if not self.layers or self.layers[0].aggregation is None:
+            raise RuntimeError("model has no gated aggregation")
+        with no_grad():
+            layer = self.layers[0]
+            per_type = []
+            for adjacency in self._user_adjacencies:
+                aggregated = adjacency.matmul(self.item_embeddings)
+                if layer.behavior_embedding is not None:
+                    aggregated = layer.behavior_embedding(aggregated)
+                per_type.append(aggregated)
+            from repro.tensor.tensor import stack
+
+            stacked = stack(per_type, axis=1)
+            if layer.attention is not None:
+                stacked, _ = layer.attention(stacked)
+            _, weights = layer.aggregation(stacked)
+        return weights.data.mean(axis=0)

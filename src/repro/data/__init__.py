@@ -1,0 +1,36 @@
+"""Datasets: container, splits, synthetic generators, file loaders."""
+
+from repro.data.dataset import Interaction, InteractionDataset
+from repro.data.splits import LeaveOneOutSplit, leave_one_out_split
+from repro.data.negatives import build_eval_candidates, EvalCandidates
+from repro.data.synthetic import (
+    SyntheticConfig,
+    generate_multi_behavior_dataset,
+    movielens_like,
+    yelp_like,
+    taobao_like,
+    synthesize_attributes,
+)
+from repro.data.loaders import (
+    load_interactions_csv,
+    map_ratings_to_behaviors,
+    RATING_BEHAVIOR_RULES,
+)
+
+__all__ = [
+    "Interaction",
+    "InteractionDataset",
+    "LeaveOneOutSplit",
+    "leave_one_out_split",
+    "build_eval_candidates",
+    "EvalCandidates",
+    "SyntheticConfig",
+    "generate_multi_behavior_dataset",
+    "movielens_like",
+    "yelp_like",
+    "taobao_like",
+    "synthesize_attributes",
+    "load_interactions_csv",
+    "map_ratings_to_behaviors",
+    "RATING_BEHAVIOR_RULES",
+]

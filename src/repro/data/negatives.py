@@ -1,0 +1,77 @@
+"""Evaluation candidate generation: 1 positive vs. 99 sampled negatives.
+
+The paper: "We sample each positive instance with 99 negative instances
+from users' interacted and non-interacted items" — i.e. the standard
+sampled-metric protocol of NCF. Negatives exclude every item the user
+touched under the *target* behavior (train + test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+
+@dataclass
+class EvalCandidates:
+    """Per-user ranking candidate lists.
+
+    Attributes
+    ----------
+    users:
+        (U,) test users.
+    items:
+        (U, 1 + num_negatives) candidate items; column 0 is the positive.
+    """
+
+    users: np.ndarray
+    items: np.ndarray
+
+    @property
+    def num_negatives(self) -> int:
+        return self.items.shape[1] - 1
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+def build_eval_candidates(train: InteractionDataset, test_users: np.ndarray,
+                          test_items: np.ndarray, num_negatives: int = 99,
+                          rng: np.random.Generator | None = None) -> EvalCandidates:
+    """Sample negative candidates for each held-out (user, item) pair.
+
+    Negatives are uniform over items the user never interacted with under
+    the target behavior (including the held-out positive itself).
+    """
+    rng = rng or np.random.default_rng(0)
+    num_items = train.num_items
+    if num_negatives >= num_items:
+        raise ValueError("num_negatives must be smaller than the item count")
+
+    # Per-user positive sets from the training portion of the target behavior.
+    users_arr, items_arr, _ = train.arrays(train.target_behavior)
+    positives: dict[int, set[int]] = {}
+    for u, i in zip(users_arr.tolist(), items_arr.tolist()):
+        positives.setdefault(u, set()).add(i)
+
+    candidates = np.empty((len(test_users), 1 + num_negatives), dtype=np.int64)
+    for row, (user, positive) in enumerate(zip(test_users.tolist(), test_items.tolist())):
+        exclude = set(positives.get(user, ())) | {positive}
+        if num_items - len(exclude) < num_negatives:
+            raise ValueError(f"user {user} has too few non-interacted items")
+        sampled: list[int] = []
+        seen: set[int] = set()
+        while len(sampled) < num_negatives:
+            draw = rng.integers(0, num_items, size=num_negatives)
+            for item in draw.tolist():
+                if item not in exclude and item not in seen:
+                    sampled.append(item)
+                    seen.add(item)
+                    if len(sampled) == num_negatives:
+                        break
+        candidates[row, 0] = positive
+        candidates[row, 1:] = sampled
+    return EvalCandidates(users=np.asarray(test_users, dtype=np.int64), items=candidates)

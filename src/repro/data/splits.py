@@ -1,0 +1,85 @@
+"""Train/test splitting under the leave-one-out protocol.
+
+The paper evaluates with the standard sampled-ranking protocol: for each
+user one target-behavior interaction is held out as the test positive
+(the most recent one when timestamps exist, else a random one), the rest
+remains in the training graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+
+@dataclass
+class LeaveOneOutSplit:
+    """Result of a leave-one-out split.
+
+    Attributes
+    ----------
+    train:
+        Training dataset (test positives removed from the target behavior).
+    test_users, test_items:
+        Parallel arrays: user u's held-out positive item.
+    """
+
+    train: InteractionDataset
+    test_users: np.ndarray
+    test_items: np.ndarray
+
+    def __post_init__(self):
+        if self.test_users.shape != self.test_items.shape:
+            raise ValueError("test_users/test_items must be parallel arrays")
+
+    def __len__(self) -> int:
+        return len(self.test_users)
+
+
+def leave_one_out_split(dataset: InteractionDataset,
+                        rng: np.random.Generator | None = None,
+                        min_train_interactions: int = 1,
+                        use_timestamps: bool = True) -> LeaveOneOutSplit:
+    """Hold out one target-behavior interaction per eligible user.
+
+    A user is eligible if they have at least ``min_train_interactions + 1``
+    target interactions — so the training graph never loses a user's last
+    positive edge.
+
+    Parameters
+    ----------
+    dataset:
+        The full dataset.
+    rng:
+        Used when timestamps are absent/disabled to pick a random positive.
+    use_timestamps:
+        Hold out the most recent interaction when timestamps are available.
+    """
+    rng = rng or np.random.default_rng(0)
+    users, items, timestamps = dataset.arrays(dataset.target_behavior)
+    have_timestamps = use_timestamps and np.any(timestamps != 0.0)
+
+    test_users: list[int] = []
+    test_items: list[int] = []
+    order = np.argsort(users, kind="stable")
+    sorted_users = users[order]
+    boundaries = np.flatnonzero(np.diff(sorted_users)) + 1
+    groups = np.split(order, boundaries)
+    for group in groups:
+        if group.size < min_train_interactions + 1:
+            continue
+        user = int(users[group[0]])
+        if have_timestamps:
+            pick = group[np.argmax(timestamps[group])]
+        else:
+            pick = rng.choice(group)
+        test_users.append(user)
+        test_items.append(int(items[pick]))
+
+    test_users_arr = np.asarray(test_users, dtype=np.int64)
+    test_items_arr = np.asarray(test_items, dtype=np.int64)
+    train = dataset.remove_target_pairs(test_users_arr, test_items_arr)
+    return LeaveOneOutSplit(train=train, test_users=test_users_arr, test_items=test_items_arr)

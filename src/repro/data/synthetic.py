@@ -1,0 +1,355 @@
+"""Synthetic multi-behavior datasets mirroring MovieLens / Yelp / Taobao.
+
+The offline environment cannot download the paper's datasets, so we generate
+synthetic equivalents that preserve the *generative assumptions* the paper's
+claims rest on:
+
+1. every behavior type is a (differently) noisy view of one latent user–item
+   affinity — so auxiliary behaviors carry transferable signal;
+2. auxiliary behaviors are denser and noisier than the target behavior
+   (page views ≫ purchases; all ratings ≫ likes);
+3. e-commerce behaviors form a funnel (view ⊇ cart ⊇ purchase), the cascade
+   structure NMTR exploits;
+4. rating platforms map scores to {dislike, neutral, like} exactly as the
+   paper does (r ≤ 2 → dislike, 2 < r < 4 → neutral, r ≥ 4 → like);
+5. item popularity is long-tailed and user activity is heterogeneous.
+
+Under these assumptions the paper's *relative* results (multi-behavior >
+single-behavior; GNMR ablations ordered as reported) are reproducible at
+laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+
+@dataclass
+class SyntheticConfig:
+    """Knobs of the latent-factor generator.
+
+    Attributes
+    ----------
+    num_users, num_items:
+        Entity counts.
+    num_factors:
+        Dimensionality of the latent affinity model.
+    behavior_specs:
+        Ordered mapping behavior → (alignment, mean_interactions_per_user).
+        ``alignment`` ∈ [0, 1] is how strongly the behavior follows the true
+        affinity (1 = pure preference, 0 = pure noise).
+    target_behavior:
+        Which behavior the models must predict.
+    popularity_skew:
+        Exponent of the item-popularity power law (larger = heavier head).
+    seed:
+        Generator seed; every dataset is fully reproducible.
+    """
+
+    num_users: int = 200
+    num_items: int = 300
+    num_factors: int = 8
+    behavior_specs: dict[str, tuple[float, float]] = field(default_factory=dict)
+    target_behavior: str = "like"
+    popularity_skew: float = 1.0
+    seed: int = 0
+    name: str = "synthetic"
+
+
+def _latent_affinity(cfg: SyntheticConfig, rng: np.random.Generator) -> np.ndarray:
+    """True affinity matrix: low-rank structure + popularity + user bias."""
+    user_factors = rng.standard_normal((cfg.num_users, cfg.num_factors))
+    item_factors = rng.standard_normal((cfg.num_items, cfg.num_factors))
+    affinity = user_factors @ item_factors.T / np.sqrt(cfg.num_factors)
+    # long-tailed item popularity, shared across behaviors
+    ranks = np.arange(1, cfg.num_items + 1)
+    popularity = 1.0 / ranks ** cfg.popularity_skew
+    popularity = (popularity - popularity.mean()) / popularity.std()
+    item_order = rng.permutation(cfg.num_items)
+    affinity = affinity + 0.6 * popularity[item_order][None, :]
+    return affinity
+
+
+def _sample_user_items(scores: np.ndarray, count: int,
+                       rng: np.random.Generator) -> np.ndarray:
+    """Sample ``count`` distinct items for one user ∝ softmax(scores)."""
+    count = min(count, scores.size)
+    logits = scores - scores.max()
+    probs = np.exp(2.0 * logits)
+    probs /= probs.sum()
+    return rng.choice(scores.size, size=count, replace=False, p=probs)
+
+
+def generate_multi_behavior_dataset(cfg: SyntheticConfig) -> InteractionDataset:
+    """Generate a dataset where each behavior is a noisy affinity view."""
+    if not cfg.behavior_specs:
+        raise ValueError("behavior_specs must not be empty")
+    if cfg.target_behavior not in cfg.behavior_specs:
+        raise ValueError("target behavior missing from behavior_specs")
+    rng = np.random.default_rng(cfg.seed)
+    affinity = _latent_affinity(cfg, rng)
+
+    interactions: dict[str, dict[str, np.ndarray]] = {}
+    for behavior, (alignment, mean_count) in cfg.behavior_specs.items():
+        users_list: list[np.ndarray] = []
+        items_list: list[np.ndarray] = []
+        # heterogeneous user activity: gamma-distributed interaction counts
+        counts = rng.gamma(shape=2.0, scale=mean_count / 2.0, size=cfg.num_users)
+        counts = np.maximum(1, counts.round().astype(int))
+        noise = rng.standard_normal((cfg.num_users, cfg.num_items))
+        scores = alignment * affinity + (1.0 - alignment) * noise
+        for user in range(cfg.num_users):
+            chosen = _sample_user_items(scores[user], int(counts[user]), rng)
+            users_list.append(np.full(chosen.size, user, dtype=np.int64))
+            items_list.append(chosen.astype(np.int64))
+        users = np.concatenate(users_list)
+        items = np.concatenate(items_list)
+        timestamps = rng.uniform(0.0, 1.0, size=users.size)
+        interactions[behavior] = {"users": users, "items": items, "timestamps": timestamps}
+
+    return InteractionDataset(
+        name=cfg.name,
+        num_users=cfg.num_users,
+        num_items=cfg.num_items,
+        behavior_names=tuple(cfg.behavior_specs),
+        target_behavior=cfg.target_behavior,
+        interactions=interactions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Named generators mirroring the paper's three datasets (Table I schemas)
+# ----------------------------------------------------------------------
+
+def movielens_like(num_users: int = 200, num_items: int = 300,
+                   seed: int = 0, scale: float = 1.0) -> InteractionDataset:
+    """MovieLens-like data: ratings mapped to {dislike, neutral, like}.
+
+    Ratings come from the latent affinity plus observation noise; the
+    thresholds reproduce the paper's mapping (§IV-A). Users rate many items,
+    so all three behaviors are dense relative to Taobao's funnel.
+    """
+    cfg = SyntheticConfig(num_users=num_users, num_items=num_items, seed=seed,
+                          name="movielens-like", target_behavior="like")
+    rng = np.random.default_rng(seed)
+    affinity = _latent_affinity(cfg, rng)
+
+    mean_ratings = max(8, int(24 * scale))
+    counts = np.maximum(2, rng.gamma(2.0, mean_ratings / 2.0, cfg.num_users).astype(int))
+    interactions = {b: {"users": [], "items": [], "timestamps": []}
+                    for b in ("dislike", "neutral", "like")}
+    for user in range(cfg.num_users):
+        rated = _sample_user_items(affinity[user], int(counts[user]), rng)
+        # rating ∈ [0.5, 5]: affinity quantile + noise, like the 10M scale
+        raw = affinity[user, rated] + 0.8 * rng.standard_normal(rated.size)
+        rating = np.clip(3.0 + 1.2 * raw, 0.5, 5.0)
+        for item, r in zip(rated, rating):
+            if r <= 2.0:
+                behavior = "dislike"
+            elif r >= 4.0:
+                behavior = "like"
+            else:
+                behavior = "neutral"
+            interactions[behavior]["users"].append(user)
+            interactions[behavior]["items"].append(int(item))
+            interactions[behavior]["timestamps"].append(rng.uniform())
+    return _finalize(cfg, interactions)
+
+
+def yelp_like(num_users: int = 200, num_items: int = 300,
+              seed: int = 1, scale: float = 1.0) -> InteractionDataset:
+    """Yelp-like data: rating-derived behaviors plus a 'tip' behavior.
+
+    Tips are given on a visited-venue subset with mild affinity bias —
+    an auxiliary behavior weaker than 'like' but informative.
+    """
+    cfg = SyntheticConfig(num_users=num_users, num_items=num_items, seed=seed,
+                          name="yelp-like", target_behavior="like")
+    rng = np.random.default_rng(seed)
+    affinity = _latent_affinity(cfg, rng)
+
+    mean_ratings = max(6, int(18 * scale))
+    counts = np.maximum(2, rng.gamma(2.0, mean_ratings / 2.0, cfg.num_users).astype(int))
+    interactions = {b: {"users": [], "items": [], "timestamps": []}
+                    for b in ("tip", "dislike", "neutral", "like")}
+    for user in range(cfg.num_users):
+        rated = _sample_user_items(affinity[user], int(counts[user]), rng)
+        raw = affinity[user, rated] + 0.9 * rng.standard_normal(rated.size)
+        rating = np.clip(3.0 + 1.2 * raw, 1.0, 5.0)
+        for item, r in zip(rated, rating):
+            if r <= 2.0:
+                behavior = "dislike"
+            elif r >= 4.0:
+                behavior = "like"
+            else:
+                behavior = "neutral"
+            interactions[behavior]["users"].append(user)
+            interactions[behavior]["items"].append(int(item))
+            interactions[behavior]["timestamps"].append(rng.uniform())
+            # tip probability grows with satisfaction
+            if rng.random() < 0.15 + 0.1 * (r - 3.0):
+                interactions["tip"]["users"].append(user)
+                interactions["tip"]["items"].append(int(item))
+                interactions["tip"]["timestamps"].append(rng.uniform())
+    return _finalize(cfg, interactions)
+
+
+def taobao_like(num_users: int = 200, num_items: int = 300,
+                seed: int = 2, scale: float = 1.0,
+                view_alignment: float = 0.35,
+                direct_purchase_fraction: float = 0.55,
+                purchase_sharpness: float = 0.75,
+                mean_purchases: float = 3.5) -> InteractionDataset:
+    """Taobao-like data: the page-view → favorite/cart → purchase funnel.
+
+    Page views are dense and only weakly aligned with true preference
+    (browsing is exploratory); favorites and carts are affinity-biased
+    subsets of views; purchases mix *funnel* buys (from carted items) with
+    *direct* buys that leave no view trace — mimicking real logs, where
+    interaction windows truncate history and most test purchases are not
+    simply "viewed but not yet bought" items. Target = purchase.
+
+    Parameters
+    ----------
+    view_alignment:
+        Weight of true affinity in the view score (rest is noise).
+    direct_purchase_fraction:
+        Fraction of each user's purchases drawn directly from preference
+        rather than through the recorded view→cart funnel.
+    purchase_sharpness:
+        Multiplier on affinity when sampling direct purchases; lower means
+        purchases are less predictable from the latent structure alone.
+    mean_purchases:
+        Poisson mean of purchases per user (≥ 2 enforced so leave-one-out
+        always keeps a training edge).
+    """
+    cfg = SyntheticConfig(num_users=num_users, num_items=num_items, seed=seed,
+                          name="taobao-like", target_behavior="purchase")
+    rng = np.random.default_rng(seed)
+    affinity = _latent_affinity(cfg, rng)
+
+    mean_views = max(10, int(30 * scale))
+    view_counts = np.maximum(6, rng.gamma(2.0, mean_views / 2.0, cfg.num_users).astype(int))
+    buy_counts = np.maximum(2, rng.poisson(mean_purchases, cfg.num_users))
+    interactions = {b: {"users": [], "items": [], "timestamps": []}
+                    for b in ("page_view", "favorite", "cart", "purchase")}
+
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-z))
+
+    for user in range(cfg.num_users):
+        view_scores = (view_alignment * affinity[user]
+                       + (1.0 - view_alignment) * rng.standard_normal(cfg.num_items))
+        viewed = _sample_user_items(view_scores, int(view_counts[user]), rng)
+        t_view = np.sort(rng.uniform(0.0, 0.7, size=viewed.size))
+        for item, t in zip(viewed, t_view):
+            interactions["page_view"]["users"].append(user)
+            interactions["page_view"]["items"].append(int(item))
+            interactions["page_view"]["timestamps"].append(float(t))
+        aff = affinity[user, viewed]
+        fav_mask = rng.random(viewed.size) < _sigmoid(1.2 * aff - 1.5)
+        cart_mask = rng.random(viewed.size) < _sigmoid(1.2 * aff - 1.2)
+        for item, t, m in zip(viewed, t_view, fav_mask):
+            if m:
+                interactions["favorite"]["users"].append(user)
+                interactions["favorite"]["items"].append(int(item))
+                interactions["favorite"]["timestamps"].append(float(t) + 0.1)
+        carted: list[tuple[int, float, float]] = []
+        for item, t, m, a in zip(viewed, t_view, cart_mask, aff):
+            if m:
+                interactions["cart"]["users"].append(user)
+                interactions["cart"]["items"].append(int(item))
+                interactions["cart"]["timestamps"].append(float(t) + 0.15)
+                carted.append((int(item), float(t), float(a)))
+
+        total = int(buy_counts[user])
+        n_direct = max(1, int(round(total * direct_purchase_fraction)))
+        n_funnel = max(1, total - n_direct)
+        purchases: dict[int, float] = {}
+        # funnel purchases: the user's best carted items convert
+        for item, t, a in sorted(carted, key=lambda c: -c[2])[:n_funnel]:
+            if rng.random() < _sigmoid(1.5 * a):
+                purchases[item] = t + 0.2
+        # direct purchases: preference-driven, no view/cart trace recorded
+        for item in _sample_user_items(purchase_sharpness * affinity[user], n_direct, rng):
+            purchases.setdefault(int(item), rng.uniform(0.7, 1.0))
+        # guarantee ≥ 2 purchases so leave-one-out keeps a train edge
+        attempts = 0
+        while len(purchases) < 2 and attempts < 20:
+            attempts += 1
+            for item in _sample_user_items(purchase_sharpness * affinity[user], 3, rng):
+                if int(item) not in purchases:
+                    purchases[int(item)] = rng.uniform(0.7, 1.0)
+                    break
+        for item, t in purchases.items():
+            interactions["purchase"]["users"].append(user)
+            interactions["purchase"]["items"].append(item)
+            interactions["purchase"]["timestamps"].append(t)
+    return _finalize(cfg, interactions)
+
+
+def synthesize_attributes(dataset: InteractionDataset, num_features: int = 8,
+                          noise: float = 0.5, seed: int = 0) -> InteractionDataset:
+    """Attach synthetic user/item attribute features to a dataset.
+
+    Implements the data side of the paper's future-work extension
+    ("exploring the attribute features from user and item side"): features
+    are spectral coordinates of the merged interaction matrix (truncated
+    SVD) perturbed with Gaussian noise, so they correlate with true
+    preference without simply duplicating the training edges.
+
+    Returns a new dataset sharing the interactions, with
+    ``user_features`` (I×F) and ``item_features`` (J×F) attached.
+    """
+    if num_features <= 0:
+        raise ValueError("num_features must be positive")
+    rng = np.random.default_rng(seed)
+    merged = dataset.graph().merged_adjacency().to_dense()
+    u, s, vt = np.linalg.svd(merged, full_matrices=False)
+    k = min(num_features, s.size)
+    scale = np.sqrt(s[:k])
+    user_features = u[:, :k] * scale
+    item_features = vt[:k].T * scale
+    for features in (user_features, item_features):
+        spread = features.std() or 1.0
+        features += noise * spread * rng.standard_normal(features.shape)
+    if k < num_features:  # pad with pure-noise columns to the requested width
+        pad = num_features - k
+        user_features = np.hstack([user_features, rng.standard_normal((dataset.num_users, pad))])
+        item_features = np.hstack([item_features, rng.standard_normal((dataset.num_items, pad))])
+    return InteractionDataset(
+        name=f"{dataset.name}+attrs",
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        behavior_names=dataset.behavior_names,
+        target_behavior=dataset.target_behavior,
+        interactions={b: dict(zip(("users", "items", "timestamps"),
+                                  dataset.arrays(b)))
+                      for b in dataset.behavior_names},
+        user_features=user_features,
+        item_features=item_features,
+    )
+
+
+def _finalize(cfg: SyntheticConfig,
+              interactions: dict[str, dict[str, list]]) -> InteractionDataset:
+    arrays = {
+        behavior: {
+            "users": np.asarray(rec["users"], dtype=np.int64),
+            "items": np.asarray(rec["items"], dtype=np.int64),
+            "timestamps": np.asarray(rec["timestamps"], dtype=np.float64),
+        }
+        for behavior, rec in interactions.items()
+    }
+    return InteractionDataset(
+        name=cfg.name,
+        num_users=cfg.num_users,
+        num_items=cfg.num_items,
+        behavior_names=tuple(interactions),
+        target_behavior=cfg.target_behavior,
+        interactions=arrays,
+    )

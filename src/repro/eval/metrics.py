@@ -1,0 +1,74 @@
+"""Ranking metrics: HR@N and NDCG@N (plus MRR / precision / recall).
+
+The protocol places exactly one positive among the candidates of each test
+user, so HR@N is the fraction of users whose positive ranks within the top
+N, and NDCG@N reduces to 1 / log2(rank + 1) averaged over users (0 when the
+positive falls outside the top N) — exactly the quantities in Tables II/III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rank_of_positive(scores: np.ndarray, positive_index: int = 0) -> int:
+    """0-based rank of the positive candidate under descending scores.
+
+    Ties are broken pessimistically (the positive loses), which keeps the
+    metric conservative and deterministic.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    positive_score = scores[positive_index]
+    better = np.sum(scores > positive_score)
+    ties = np.sum(scores == positive_score) - 1  # exclude the positive itself
+    return int(better + ties)
+
+
+def hit_ratio(ranks: np.ndarray, top_n: int) -> float:
+    """HR@N: fraction of test users whose positive is in the top N."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean(ranks < top_n))
+
+
+def ndcg(ranks: np.ndarray, top_n: int) -> float:
+    """NDCG@N with a single relevant item: mean of 1/log2(rank+2) if hit."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    gains = np.where(ranks < top_n, 1.0 / np.log2(ranks + 2.0), 0.0)
+    return float(np.mean(gains))
+
+
+def mrr(ranks: np.ndarray) -> float:
+    """Mean reciprocal rank of the positive."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean(1.0 / (ranks + 1.0)))
+
+
+def auc(ranks: np.ndarray, num_candidates: int) -> float:
+    """Mean AUC: probability the positive outranks a random negative.
+
+    With one positive at 0-based rank r among ``num_candidates`` items,
+    per-user AUC = 1 − r / (num_candidates − 1).
+    """
+    ranks = np.asarray(ranks)
+    if ranks.size == 0 or num_candidates < 2:
+        return 0.0
+    return float(np.mean(1.0 - ranks / (num_candidates - 1)))
+
+
+def precision(ranks: np.ndarray, top_n: int) -> float:
+    """Precision@N with one relevant item: hits / N averaged over users."""
+    ranks = np.asarray(ranks)
+    if ranks.size == 0:
+        return 0.0
+    return float(np.mean((ranks < top_n) / top_n))
+
+
+def recall(ranks: np.ndarray, top_n: int) -> float:
+    """Recall@N — identical to HR@N under the 1-positive protocol."""
+    return hit_ratio(ranks, top_n)

@@ -1,0 +1,128 @@
+"""The sampled ranking evaluation protocol (1 positive vs 99 negatives)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+import numpy as np
+
+from repro.data.negatives import EvalCandidates
+from repro.eval import metrics as M
+
+
+class Scorer(Protocol):
+    """Anything that can score (user, item) pairs — all recommenders do."""
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Return preference scores for parallel user/item index arrays."""
+        ...
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics over a candidate set, queryable at any cutoff N.
+
+    ``ranks`` holds the 0-based rank of each user's positive, from which all
+    reported metrics are derived.
+    """
+
+    ranks: np.ndarray
+    top_ns: tuple[int, ...] = (1, 3, 5, 7, 9, 10)
+    _cache: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def hr(self, n: int = 10) -> float:
+        key = f"hr@{n}"
+        if key not in self._cache:
+            self._cache[key] = M.hit_ratio(self.ranks, n)
+        return self._cache[key]
+
+    def ndcg(self, n: int = 10) -> float:
+        key = f"ndcg@{n}"
+        if key not in self._cache:
+            self._cache[key] = M.ndcg(self.ranks, n)
+        return self._cache[key]
+
+    def mrr(self) -> float:
+        if "mrr" not in self._cache:
+            self._cache["mrr"] = M.mrr(self.ranks)
+        return self._cache["mrr"]
+
+    def as_dict(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for n in self.top_ns:
+            out[f"HR@{n}"] = self.hr(n)
+            out[f"NDCG@{n}"] = self.ndcg(n)
+        out["MRR"] = self.mrr()
+        return out
+
+    def __len__(self) -> int:
+        return len(self.ranks)
+
+
+def evaluate_ranking(scores: np.ndarray) -> EvaluationResult:
+    """Compute ranks from a (users × candidates) score matrix.
+
+    Column 0 must hold the positive candidate (the
+    :class:`~repro.data.negatives.EvalCandidates` convention).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    ranks = np.array([M.rank_of_positive(row) for row in scores], dtype=np.int64)
+    return EvaluationResult(ranks=ranks)
+
+
+def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
+                          test_items: np.ndarray,
+                          batch_users: int = 64) -> EvaluationResult:
+    """Rank each held-out positive against the *entire* catalog.
+
+    The sampled 99-negative protocol (the paper's) is cheap but noisy; this
+    extension ranks against every item the user has not interacted with
+    under the target behavior — the strict variant used by later work.
+
+    Parameters
+    ----------
+    train:
+        The training :class:`~repro.data.dataset.InteractionDataset`,
+        used to mask out known positives.
+    """
+    test_users = np.asarray(test_users, dtype=np.int64)
+    test_items = np.asarray(test_items, dtype=np.int64)
+    num_items = train.num_items
+    all_items = np.arange(num_items, dtype=np.int64)
+    ranks = np.empty(test_users.size, dtype=np.int64)
+    for start in range(0, test_users.size, batch_users):
+        stop = min(start + batch_users, test_users.size)
+        block = test_users[start:stop]
+        flat_users = np.repeat(block, num_items)
+        flat_items = np.tile(all_items, block.size)
+        scores = model.score(flat_users, flat_items).reshape(block.size, num_items)
+        for offset, user in enumerate(block):
+            row = scores[offset].copy()
+            positive = test_items[start + offset]
+            positive_score = row[positive]
+            seen = train.user_target_items(int(user))
+            row[seen] = -np.inf  # never rank known positives as competitors
+            better = np.sum(row > positive_score)
+            ties = np.sum(row == positive_score) - 1
+            ranks[start + offset] = better + max(ties, 0)
+    return EvaluationResult(ranks=ranks)
+
+
+def evaluate_model(model: Scorer, candidates: EvalCandidates,
+                   batch_size: int = 512) -> EvaluationResult:
+    """Score every candidate list with ``model`` and rank the positives.
+
+    Scoring is batched over users to bound peak memory for wide candidate
+    sets; each batch flattens (user, item) pairs into parallel index arrays.
+    """
+    num_users, width = candidates.items.shape
+    ranks = np.empty(num_users, dtype=np.int64)
+    for start in range(0, num_users, batch_size):
+        stop = min(start + batch_size, num_users)
+        block_users = np.repeat(candidates.users[start:stop], width)
+        block_items = candidates.items[start:stop].reshape(-1)
+        scores = model.score(block_users, block_items).reshape(stop - start, width)
+        for offset, row in enumerate(scores):
+            ranks[start + offset] = M.rank_of_positive(row)
+    return EvaluationResult(ranks=ranks)

@@ -1,0 +1,64 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+========  =============================================  ====================
+ID        Paper artifact                                 Runner
+========  =============================================  ====================
+table1    Dataset statistics                             :func:`run_table1`
+table2    HR@10/NDCG@10, 13 models × 3 datasets          :func:`run_table2`
+table3    HR@N/NDCG@N sweep on Yelp                      :func:`run_table3`
+fig2      GNMR-be / GNMR-ma ablation                     :func:`run_fig2`
+table4    Behavior-type ablation                         :func:`run_table4`
+fig3      Propagation-depth sweep                        :func:`run_fig3`
+ext       Extension ablations (init / loss / aggregator) :func:`run_ext_ablation`
+========  =============================================  ====================
+
+Each runner returns structured results and can print the paper-formatted
+table; ``benchmarks/`` wraps them with pytest-benchmark.
+"""
+
+from repro.experiments.specs import (
+    ExperimentScale,
+    SMALL_SCALE,
+    TINY_SCALE,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    dataset_by_name,
+    make_model,
+    MODEL_NAMES,
+    MULTI_BEHAVIOR_MODELS,
+)
+from repro.experiments.runners import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_fig2,
+    run_table4,
+    run_fig3,
+    run_ext_ablation,
+    train_and_evaluate,
+)
+from repro.experiments.reporting import format_table, format_comparison
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL_SCALE",
+    "TINY_SCALE",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4",
+    "dataset_by_name",
+    "make_model",
+    "MODEL_NAMES",
+    "MULTI_BEHAVIOR_MODELS",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_fig2",
+    "run_table4",
+    "run_fig3",
+    "run_ext_ablation",
+    "train_and_evaluate",
+    "format_table",
+    "format_comparison",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for experiment results."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def format_table(results: Mapping[str, Mapping[str, float]], title: str = "",
+                 float_fmt: str = "{:.3f}") -> str:
+    """Render {row → {column → value}} as an aligned text table."""
+    rows = list(results)
+    columns: list[str] = []
+    for row in rows:
+        for column in results[row]:
+            if column not in columns:
+                columns.append(column)
+    widths = {c: max(len(str(c)), 8) for c in columns}
+    name_width = max([len(r) for r in rows] + [len("model")])
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = "model".ljust(name_width) + "  " + "  ".join(
+        str(c).rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = "  ".join(
+            fmt(results[row].get(c, "")).rjust(widths[c]) for c in columns)
+        lines.append(row.ljust(name_width) + "  " + cells)
+    return "\n".join(lines)
+
+
+def format_comparison(measured: Mapping[str, Mapping[str, float]],
+                      paper: Mapping[str, tuple[float, float]],
+                      title: str = "") -> str:
+    """Side-by-side measured vs. paper-reported HR@10/NDCG@10 table.
+
+    ``paper[model] = (hr, ndcg)``; models missing on either side are shown
+    with blanks so the rows always line up with the paper's roster.
+    """
+    merged: dict[str, dict[str, object]] = {}
+    for model in list(paper) + [m for m in measured if m not in paper]:
+        row: dict[str, object] = {}
+        if model in measured:
+            row["HR@10 (ours)"] = measured[model].get("HR@10", "")
+            row["NDCG@10 (ours)"] = measured[model].get("NDCG@10", "")
+        if model in paper:
+            row["HR@10 (paper)"] = paper[model][0]
+            row["NDCG@10 (paper)"] = paper[model][1]
+        merged[model] = row
+    return format_table(merged, title=title)

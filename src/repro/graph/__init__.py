@@ -1,0 +1,18 @@
+"""Multi-behavior user–item interaction graph substrate."""
+
+from repro.graph.interaction_graph import MultiBehaviorGraph, GraphStats
+from repro.graph.sampling import (
+    NegativeSampler,
+    sample_pairwise_batch,
+    sample_seed_nodes,
+    PairwiseBatch,
+)
+
+__all__ = [
+    "MultiBehaviorGraph",
+    "GraphStats",
+    "NegativeSampler",
+    "sample_pairwise_batch",
+    "sample_seed_nodes",
+    "PairwiseBatch",
+]

@@ -1,0 +1,122 @@
+"""Sampling utilities for pairwise training (Algorithm 1 of the paper).
+
+Each training step samples seed users, then for each user ``S`` positive
+items (interacted under the target behavior) and ``S`` negative items
+(never interacted under the target behavior).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.interaction_graph import MultiBehaviorGraph
+
+
+@dataclass
+class PairwiseBatch:
+    """A mini-batch of (user, positive item, negative item) triples."""
+
+    users: np.ndarray
+    pos_items: np.ndarray
+    neg_items: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+
+class NegativeSampler:
+    """Uniform negative sampler with rejection against observed positives.
+
+    Positives are defined w.r.t. a fixed behavior (usually the target).
+    Rejection uses per-user hash sets, so sampling stays O(1) per draw even
+    for heavy users.
+    """
+
+    def __init__(self, graph: MultiBehaviorGraph, behavior: str,
+                 extra_exclude: dict[int, set[int]] | None = None):
+        self.num_items = graph.num_items
+        self._positives: list[set[int]] = [
+            set(graph.user_items(behavior, u).tolist()) for u in range(graph.num_users)
+        ]
+        if extra_exclude:
+            for user, items in extra_exclude.items():
+                self._positives[user] |= set(items)
+
+    def positives(self, user: int) -> set[int]:
+        return self._positives[user]
+
+    def can_sample(self, user: int) -> bool:
+        """Whether the user has at least one non-interacted item left."""
+        return len(self._positives[user]) < self.num_items
+
+    def sample(self, user: int, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` items the user never interacted with."""
+        exclude = self._positives[user]
+        if len(exclude) >= self.num_items:
+            raise ValueError(f"user {user} interacted with every item; cannot sample negatives")
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            draw = rng.integers(0, self.num_items, size=max(count - filled, 8))
+            for item in draw:
+                if item not in exclude:
+                    out[filled] = item
+                    filled += 1
+                    if filled == count:
+                        break
+        return out
+
+
+def sample_seed_nodes(num_nodes: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """Sample seed node ids without replacement (Algorithm 1, line 3)."""
+    count = min(count, num_nodes)
+    return rng.choice(num_nodes, size=count, replace=False)
+
+
+def sample_pairwise_batch(graph: MultiBehaviorGraph, behavior: str,
+                          sampler: NegativeSampler, batch_users: int,
+                          per_user: int, rng: np.random.Generator,
+                          eligible_users: np.ndarray | None = None) -> PairwiseBatch:
+    """Sample a pairwise training batch.
+
+    Parameters
+    ----------
+    graph:
+        The interaction graph providing positive items.
+    behavior:
+        Target behavior type (positives come from here).
+    sampler:
+        Negative sampler (shared across steps to reuse its hash sets).
+    batch_users:
+        Number of distinct seed users per batch.
+    per_user:
+        ``S`` — positives and negatives sampled per user.
+    eligible_users:
+        Restrict seeds to these users (defaults to users with ≥1 positive).
+    """
+    if eligible_users is None:
+        degrees = graph.user_degree(behavior)
+        eligible_users = np.flatnonzero(degrees > 0)
+    if eligible_users.size == 0:
+        raise ValueError(f"no user has any {behavior!r} interaction")
+    seeds = rng.choice(eligible_users, size=min(batch_users, eligible_users.size), replace=False)
+
+    users: list[int] = []
+    pos: list[int] = []
+    neg: list[int] = []
+    for user in seeds:
+        items = graph.user_items(behavior, int(user))
+        if items.size == 0 or not sampler.can_sample(int(user)):
+            continue
+        chosen = rng.choice(items, size=per_user, replace=items.size < per_user)
+        negatives = sampler.sample(int(user), per_user, rng)
+        users.extend([int(user)] * per_user)
+        pos.extend(chosen.tolist())
+        neg.extend(negatives.tolist())
+    return PairwiseBatch(
+        users=np.asarray(users, dtype=np.int64),
+        pos_items=np.asarray(pos, dtype=np.int64),
+        neg_items=np.asarray(neg, dtype=np.int64),
+    )

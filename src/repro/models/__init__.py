@@ -1,0 +1,48 @@
+"""All baseline recommenders from the paper's Table II, plus the shared
+:class:`~repro.models.base.Recommender` interface.
+
+=============  =========================================================
+Model          Source
+=============  =========================================================
+BiasMF         Koren et al., Computer 2009
+DMF            Xue et al., IJCAI 2017
+NCF-G/M/N      He et al., WWW 2017 (GMF / MLP / NeuMF variants)
+AutoRec        Sedhain et al., WWW 2015
+CDAE           Wu et al., WSDM 2016
+NADE           Zheng et al., ICML 2016 (CF-NADE style)
+CF-UIcA        Du et al., AAAI 2018
+NGCF           Wang et al., SIGIR 2019
+NMTR           Gao et al., ICDE 2019 (multi-behavior, cascaded)
+DIPN           Guo et al., KDD 2019 (multi-behavior, sequential)
+=============  =========================================================
+
+GNMR itself lives in :mod:`repro.core`.
+"""
+
+from repro.models.base import Recommender
+from repro.models.biasmf import BiasMF
+from repro.models.dmf import DMF
+from repro.models.ncf import NCFGMF, NCFMLP, NeuMF
+from repro.models.autorec import AutoRec
+from repro.models.cdae import CDAE
+from repro.models.nade import NADE
+from repro.models.cf_uica import CFUIcA
+from repro.models.ngcf import NGCF
+from repro.models.nmtr import NMTR
+from repro.models.dipn import DIPN
+
+__all__ = [
+    "Recommender",
+    "BiasMF",
+    "DMF",
+    "NCFGMF",
+    "NCFMLP",
+    "NeuMF",
+    "AutoRec",
+    "CDAE",
+    "NADE",
+    "CFUIcA",
+    "NGCF",
+    "NMTR",
+    "DIPN",
+]

@@ -1,0 +1,103 @@
+"""Shared recommender interface.
+
+Every model — GNMR and all Table-II baselines — subclasses
+:class:`Recommender`, so the experiment harness can train and evaluate them
+uniformly:
+
+* :meth:`Recommender.fit` — pairwise training via :class:`repro.train.Trainer`
+  (reconstruction-style models override ``fit`` entirely);
+* :meth:`Recommender.score` — numpy scoring for evaluation;
+* :meth:`Recommender.score_tensor` — differentiable scoring for training;
+* :meth:`Recommender.recommend` — top-N item lists for applications.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.nn.module import Module
+from repro.tensor import Tensor, no_grad
+from repro.train.callbacks import HistoryRecorder
+from repro.train.trainer import TrainConfig, Trainer
+
+
+class Recommender(Module):
+    """Base class for all recommenders in the reproduction."""
+
+    #: human-readable name used in result tables
+    name: str = "recommender"
+
+    def __init__(self, num_users: int, num_items: int):
+        super().__init__()
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """Differentiable scores for parallel (user, item) index arrays."""
+        raise NotImplementedError
+
+    def batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                     neg_items: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Score positive and negative pairs for one training batch.
+
+        Graph models override this to share one propagation pass between the
+        positive and negative sides.
+        """
+        return self.score_tensor(users, pos_items), self.score_tensor(users, neg_items)
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Inference-mode scores (no autograd graph, dropout disabled)."""
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                return self.score_tensor(np.asarray(users), np.asarray(items)).data
+        finally:
+            if was_training:
+                self.train()
+
+    def on_step_end(self) -> None:
+        """Hook called after each optimizer step (cache invalidation)."""
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, train: InteractionDataset, config: TrainConfig | None = None,
+            eval_fn=None) -> HistoryRecorder:
+        """Train with the paper's pairwise objective; returns history."""
+        config = config or TrainConfig()
+        trainer = Trainer(self, train, config, eval_fn=eval_fn)
+        return trainer.run()
+
+    # ------------------------------------------------------------------
+    # application API
+    # ------------------------------------------------------------------
+    def recommend(self, user: int, top_n: int = 10,
+                  exclude_items: set[int] | None = None,
+                  candidate_items: np.ndarray | None = None) -> list[tuple[int, float]]:
+        """Top-N (item, score) recommendations for one user.
+
+        Parameters
+        ----------
+        exclude_items:
+            Items to filter out (typically the user's training positives).
+        candidate_items:
+            Restrict scoring to these items (defaults to the full catalog).
+        """
+        if candidate_items is None:
+            candidate_items = np.arange(self.num_items)
+        candidate_items = np.asarray(candidate_items, dtype=np.int64)
+        if exclude_items:
+            mask = np.array([i not in exclude_items for i in candidate_items])
+            candidate_items = candidate_items[mask]
+        if candidate_items.size == 0:
+            return []
+        users = np.full(candidate_items.size, int(user), dtype=np.int64)
+        scores = self.score(users, candidate_items)
+        order = np.argsort(-scores)[:top_n]
+        return [(int(candidate_items[i]), float(scores[i])) for i in order]

@@ -1,0 +1,44 @@
+"""BiasMF baseline (Koren et al., 2009).
+
+Matrix factorization with user/item bias terms:
+``score(u, i) = μ + b_u + b_i + p_u · q_i``, trained on the target behavior
+with the shared pairwise objective.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Recommender
+from repro.nn import init as init_schemes
+from repro.nn.module import Parameter
+from repro.tensor import Tensor
+
+
+class BiasMF(Recommender):
+    """Biased matrix factorization."""
+
+    name = "BiasMF"
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
+                 seed: int = 0):
+        super().__init__(num_users, num_items)
+        rng = np.random.default_rng(seed)
+        self.user_factors = Parameter(
+            init_schemes.normal((num_users, embedding_dim), rng, std=0.05), name="P")
+        self.item_factors = Parameter(
+            init_schemes.normal((num_items, embedding_dim), rng, std=0.05), name="Q")
+        self.user_bias = Parameter(np.zeros(num_users), name="b_u")
+        self.item_bias = Parameter(np.zeros(num_items), name="b_i")
+        self.global_bias = Parameter(np.zeros(1), name="mu")
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        p = self.user_factors.gather_rows(users)
+        q = self.item_factors.gather_rows(items)
+        interaction = (p * q).sum(axis=1)
+        return (interaction
+                + self.user_bias.gather_rows(users)
+                + self.item_bias.gather_rows(items)
+                + self.global_bias.gather_rows(np.zeros_like(users)))

@@ -1,0 +1,79 @@
+"""Neural Collaborative Filtering baselines (He et al., WWW 2017).
+
+Three variants as evaluated in the paper's Table II:
+
+* ``NCF-G`` (GMF) — fixed element-wise product of user/item embeddings,
+  projected to a scalar;
+* ``NCF-M`` (MLP) — multi-layer perceptron over the concatenated
+  embeddings;
+* ``NCF-N`` (NeuMF) — fusion of a GMF branch and an MLP branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import Recommender
+from repro.nn.layers import Embedding, MLP, Linear
+from repro.tensor import Tensor
+from repro.tensor.tensor import concat
+
+
+class NCFGMF(Recommender):
+    """NCF-G: generalized matrix factorization branch alone."""
+
+    name = "NCF-G"
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
+                 seed: int = 0):
+        super().__init__(num_users, num_items)
+        rng = np.random.default_rng(seed)
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng)
+        self.item_embeddings = Embedding(num_items, embedding_dim, rng=rng)
+        self.output = Linear(embedding_dim, 1, rng=rng)
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        p = self.user_embeddings(users)
+        q = self.item_embeddings(items)
+        return self.output(p * q).squeeze(-1)
+
+
+class NCFMLP(Recommender):
+    """NCF-M: MLP over concatenated user/item embeddings."""
+
+    name = "NCF-M"
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
+                 hidden_sizes: tuple[int, ...] = (32, 16), seed: int = 0):
+        super().__init__(num_users, num_items)
+        rng = np.random.default_rng(seed)
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng)
+        self.item_embeddings = Embedding(num_items, embedding_dim, rng=rng)
+        self.mlp = MLP([2 * embedding_dim, *hidden_sizes, 1], rng=rng)
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        p = self.user_embeddings(users)
+        q = self.item_embeddings(items)
+        return self.mlp(concat([p, q], axis=-1)).squeeze(-1)
+
+
+class NeuMF(Recommender):
+    """NCF-N: NeuMF — fused GMF + MLP branches with separate embeddings."""
+
+    name = "NCF-N"
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
+                 hidden_sizes: tuple[int, ...] = (32, 16), seed: int = 0):
+        super().__init__(num_users, num_items)
+        rng = np.random.default_rng(seed)
+        self.gmf_user = Embedding(num_users, embedding_dim, rng=rng)
+        self.gmf_item = Embedding(num_items, embedding_dim, rng=rng)
+        self.mlp_user = Embedding(num_users, embedding_dim, rng=rng)
+        self.mlp_item = Embedding(num_items, embedding_dim, rng=rng)
+        self.mlp = MLP([2 * embedding_dim, *hidden_sizes], out_activation="relu", rng=rng)
+        self.output = Linear(embedding_dim + hidden_sizes[-1], 1, rng=rng)
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        gmf_vector = self.gmf_user(users) * self.gmf_item(items)
+        mlp_vector = self.mlp(concat([self.mlp_user(users), self.mlp_item(items)], axis=-1))
+        return self.output(concat([gmf_vector, mlp_vector], axis=-1)).squeeze(-1)

@@ -1,0 +1,47 @@
+"""Minimal neural-network library on top of :mod:`repro.tensor`.
+
+Provides the module/parameter abstraction, common layers, initializers,
+losses, optimizers and learning-rate schedulers used by GNMR and all the
+baseline recommenders.
+"""
+
+from repro.nn.module import Module, Parameter, ModuleList
+from repro.nn.layers import Linear, Embedding, MLP, Dropout, GRUCell, Identity
+from repro.nn import init
+from repro.nn.losses import (
+    pairwise_hinge_loss,
+    bpr_loss,
+    mse_loss,
+    bce_with_logits_loss,
+    softmax_cross_entropy,
+    l2_regularization,
+)
+from repro.nn.optim import Optimizer, SGD, Momentum, Adagrad, Adam
+from repro.nn.schedulers import ExponentialDecay, StepDecay, ConstantSchedule
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "ModuleList",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "Dropout",
+    "GRUCell",
+    "Identity",
+    "init",
+    "pairwise_hinge_loss",
+    "bpr_loss",
+    "mse_loss",
+    "bce_with_logits_loss",
+    "softmax_cross_entropy",
+    "l2_regularization",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adagrad",
+    "Adam",
+    "ExponentialDecay",
+    "StepDecay",
+    "ConstantSchedule",
+]

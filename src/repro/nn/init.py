@@ -1,0 +1,46 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the reproduction is fully seedable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.standard_normal(shape) * std
+
+
+def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Kaiming normal for ReLU networks: N(0, 2 / fan_in)."""
+    fan_in, _ = _fans(shape)
+    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
+    """Plain Gaussian init, the classic MF embedding initializer."""
+    return rng.standard_normal(shape) * std
+
+
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out

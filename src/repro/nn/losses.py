@@ -1,0 +1,60 @@
+"""Loss functions for recommendation training.
+
+The paper optimizes the pairwise hinge (margin) loss of Eq. (7):
+``L = Σ_i Σ_s max(0, 1 − Pr_{i,ps} + Pr_{i,ns}) + λ‖Θ‖²_F``.
+BPR is provided for baselines and for the loss ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.tensor import Tensor, functional as F
+
+
+def pairwise_hinge_loss(pos_scores: Tensor, neg_scores: Tensor,
+                        margin: float = 1.0) -> Tensor:
+    """Σ max(0, margin − pos + neg), summed over the batch (paper Eq. 7)."""
+    return (margin - pos_scores + neg_scores).relu().sum()
+
+
+def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
+    """Bayesian personalized ranking: −Σ log σ(pos − neg)."""
+    diff = pos_scores - neg_scores
+    # -log σ(x) = softplus(-x), computed stably.
+    return ((-diff).maximum(Tensor(np.zeros(diff.shape)))
+            + ((-(diff.abs())).exp() + 1.0).log()).sum()
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error (AutoRec / DMF reconstruction objectives)."""
+    return F.mse(prediction, target)
+
+
+def bce_with_logits_loss(logits: Tensor, target) -> Tensor:
+    """Numerically stable binary cross-entropy on logits (NCF/NMTR)."""
+    return F.binary_cross_entropy_with_logits(logits, target)
+
+
+def softmax_cross_entropy(logits: Tensor, target_index: np.ndarray) -> Tensor:
+    """Mean cross-entropy of integer targets under ``softmax(logits)``.
+
+    ``logits``: (batch, classes); ``target_index``: (batch,) int array.
+    """
+    logp = F.log_softmax(logits, axis=-1)
+    batch = logits.shape[0]
+    picked = logp[np.arange(batch), np.asarray(target_index, dtype=np.int64)]
+    return -picked.mean()
+
+
+def l2_regularization(parameters: Iterable[Tensor], weight: float) -> Tensor:
+    """λ Σ ‖θ‖²_F over the given parameters (0 tensor when weight == 0)."""
+    params = list(parameters)
+    if weight == 0.0 or not params:
+        return Tensor(0.0)
+    total = (params[0] * params[0]).sum()
+    for p in params[1:]:
+        total = total + (p * p).sum()
+    return total * weight

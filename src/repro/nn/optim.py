@@ -1,0 +1,101 @@
+"""First-order optimizers.
+
+The paper trains GNMR with Adam (lr 1e-3, exponential decay 0.96); the
+other optimizers exist for baselines and for completeness of the substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, parameters: list[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def step(self) -> None:
+        for p in self.parameters:
+            if p.grad is None:
+                continue
+            p.data -= self.lr * p.grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float, momentum: float = 0.9):
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v -= self.lr * p.grad
+            p.data += v
+
+
+class Adagrad(Optimizer):
+    """Adagrad with accumulated squared gradients."""
+
+    def __init__(self, parameters: list[Parameter], lr: float, eps: float = 1e-10):
+        super().__init__(parameters, lr)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, acc in zip(self.parameters, self._accum):
+            if p.grad is None:
+                continue
+            acc += p.grad ** 2
+            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba, 2015)."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

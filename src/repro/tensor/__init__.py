@@ -1,0 +1,34 @@
+"""Reverse-mode automatic differentiation engine on top of numpy.
+
+This package is the computational substrate for the whole reproduction:
+every model (GNMR and all baselines) is expressed with :class:`Tensor`
+operations, and gradients are obtained with :meth:`Tensor.backward`.
+
+The engine supports:
+
+* broadcasting elementwise arithmetic with correct gradient reduction,
+* dense and batched matrix multiplication,
+* embedding lookup (gather rows) with scatter-add backward,
+* sparse CSR adjacency–dense matmul (the workhorse of graph propagation),
+* reductions (sum / mean / max) over arbitrary axes,
+* shape ops (reshape, transpose, concat, stack, slicing, squeeze),
+* common nonlinearities and numerically stable softmax / log-softmax.
+
+Gradient correctness is enforced by the numerical checker in
+:mod:`repro.tensor.grad_check`, which the test-suite applies to every op.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
+from repro.tensor import functional
+from repro.tensor.sparse import SparseAdjacency
+from repro.tensor.grad_check import numerical_grad, check_gradients
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "SparseAdjacency",
+    "numerical_grad",
+    "check_gradients",
+]

@@ -1,0 +1,103 @@
+"""Sparse adjacency support for graph message passing.
+
+Graph propagation in GNMR (and NGCF) is dominated by products of the form
+``A @ H`` where ``A`` is a (possibly normalized) user–item adjacency matrix
+and ``H`` a dense embedding table. ``A`` is constant — it never needs a
+gradient — so we wrap a ``scipy.sparse.csr_matrix`` and provide a matmul op
+whose backward is simply ``Aᵀ @ grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.tensor import Tensor
+
+
+class SparseAdjacency:
+    """Immutable sparse matrix participating in autodiff as a constant.
+
+    Parameters
+    ----------
+    matrix:
+        Any scipy sparse matrix (converted to CSR) or a dense array.
+    """
+
+    def __init__(self, matrix):
+        if sp.issparse(matrix):
+            self.matrix = matrix.tocsr().astype(np.float64)
+        else:
+            self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        self._transpose_cache: sp.csr_matrix | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
+
+    @property
+    def T(self) -> "SparseAdjacency":
+        return SparseAdjacency(self._transposed())
+
+    def _transposed(self) -> sp.csr_matrix:
+        if self._transpose_cache is None:
+            self._transpose_cache = self.matrix.T.tocsr()
+        return self._transpose_cache
+
+    def row_degrees(self) -> np.ndarray:
+        """Number of stored interactions per row (as float)."""
+        return np.asarray(self.matrix.sum(axis=1)).ravel()
+
+    def col_degrees(self) -> np.ndarray:
+        return np.asarray(self.matrix.sum(axis=0)).ravel()
+
+    def normalized(self, mode: str = "row") -> "SparseAdjacency":
+        """Return a degree-normalized copy.
+
+        ``mode='row'`` gives mean aggregation (D⁻¹A); ``mode='sym'`` gives the
+        symmetric GCN normalization (D⁻½ A D⁻½) used by NGCF.
+        """
+        a = self.matrix
+        if mode == "row":
+            deg = self.row_degrees()
+            inv = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
+            return SparseAdjacency(sp.diags(inv) @ a)
+        if mode == "sym":
+            rdeg = self.row_degrees()
+            cdeg = self.col_degrees()
+            rinv = np.divide(1.0, np.sqrt(rdeg), out=np.zeros_like(rdeg), where=rdeg > 0)
+            cinv = np.divide(1.0, np.sqrt(cdeg), out=np.zeros_like(cdeg), where=cdeg > 0)
+            return SparseAdjacency(sp.diags(rinv) @ a @ sp.diags(cinv))
+        raise ValueError(f"unknown normalization mode: {mode!r}")
+
+    def matmul(self, dense: Tensor) -> Tensor:
+        """Differentiable ``A @ H`` where only ``H`` receives gradient."""
+        dense = dense if isinstance(dense, Tensor) else Tensor(dense)
+        data = self.matrix @ dense.data
+        at = self._transposed()
+
+        def backward(grad: np.ndarray):
+            return (np.asarray(at @ grad),)
+
+        return Tensor._make(np.asarray(data), (dense,), backward)
+
+    def __matmul__(self, dense: Tensor) -> Tensor:
+        return self.matmul(dense)
+
+    def rmatmul(self, dense: Tensor) -> Tensor:
+        """Differentiable ``H @ A`` (gradient is ``grad @ Aᵀ``)."""
+        dense = dense if isinstance(dense, Tensor) else Tensor(dense)
+        data = dense.data @ self.matrix
+        at = self._transposed()
+
+        def backward(grad: np.ndarray):
+            return (np.asarray(grad @ at),)
+
+        return Tensor._make(np.asarray(data), (dense,), backward)
+
+    def to_dense(self) -> np.ndarray:
+        return np.asarray(self.matrix.todense())

@@ -1,0 +1,15 @@
+"""Training harness: generic pairwise trainer, seeding, callbacks."""
+
+from repro.train.seed import seeded_rng, spawn_rngs
+from repro.train.trainer import Trainer, TrainConfig, EpochLog
+from repro.train.callbacks import EarlyStopping, HistoryRecorder
+
+__all__ = [
+    "seeded_rng",
+    "spawn_rngs",
+    "Trainer",
+    "TrainConfig",
+    "EpochLog",
+    "EarlyStopping",
+    "HistoryRecorder",
+]

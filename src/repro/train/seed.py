@@ -1,0 +1,25 @@
+"""Reproducibility helpers.
+
+Every stochastic component (init, sampling, dropout, data generation) takes
+an explicit ``numpy.random.Generator``; these helpers create and fan out
+generators deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def seeded_rng(seed: int | None) -> np.random.Generator:
+    """A generator from an optional seed (fresh entropy when ``None``)."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent generators from one seed.
+
+    Uses ``SeedSequence.spawn`` so the streams are statistically independent
+    (unlike seed+i arithmetic).
+    """
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

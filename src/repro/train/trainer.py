@@ -1,0 +1,137 @@
+"""Generic pairwise trainer implementing Algorithm 1 of the paper.
+
+Each epoch: sample seed users, draw S positives and S negatives per user,
+score both sides, apply the margin loss of Eq. (7) plus λ‖Θ‖², and update
+with Adam under an exponential learning-rate decay (rate 0.96).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
+from repro.nn.losses import bpr_loss, l2_regularization, pairwise_hinge_loss
+from repro.nn.optim import Adam
+from repro.nn.schedulers import ExponentialDecay
+from repro.train.callbacks import EarlyStopping, HistoryRecorder
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of the pairwise training loop.
+
+    Defaults follow the paper: Adam, lr 1e-3, decay 0.96, batch size 32
+    (seed users per step), margin hinge loss.
+    """
+
+    epochs: int = 30
+    steps_per_epoch: int = 20
+    batch_users: int = 32
+    per_user: int = 4           # S in the paper's Algorithm 1
+    lr: float = 1e-3
+    lr_decay: float = 0.96
+    l2_weight: float = 1e-4
+    loss: str = "hinge"          # "hinge" (paper Eq. 7) or "bpr"
+    margin: float = 1.0
+    seed: int = 0
+    early_stopping_patience: int | None = None
+    verbose: bool = False
+
+
+@dataclass
+class EpochLog:
+    """Scalars logged once per epoch."""
+
+    epoch: int
+    loss: float
+    lr: float
+    metric: float | None = None
+
+
+_LOSSES: dict[str, Callable] = {
+    "hinge": lambda pos, neg, margin: pairwise_hinge_loss(pos, neg, margin=margin),
+    "bpr": lambda pos, neg, margin: bpr_loss(pos, neg),
+}
+
+
+class Trainer:
+    """Drives pairwise training of any model exposing ``batch_scores``.
+
+    The model contract (see :class:`repro.models.base.Recommender`):
+
+    * ``parameters()`` — trainable parameters,
+    * ``batch_scores(users, pos_items, neg_items)`` — differentiable
+      (pos_scores, neg_scores) tensors,
+    * ``train()`` / ``eval()`` — mode switching,
+    * ``on_step_end()`` — optional cache-invalidation hook.
+    """
+
+    def __init__(self, model, train_data: InteractionDataset, config: TrainConfig,
+                 eval_fn: Callable[[], float] | None = None):
+        if config.loss not in _LOSSES:
+            raise ValueError(f"unknown loss {config.loss!r}")
+        self.model = model
+        self.data = train_data
+        self.config = config
+        self.eval_fn = eval_fn
+        self.history = HistoryRecorder()
+        self._rng = np.random.default_rng(config.seed)
+        self._graph = train_data.graph()
+        self._sampler = NegativeSampler(self._graph, train_data.target_behavior)
+        degrees = self._graph.user_degree(train_data.target_behavior)
+        self._eligible = np.flatnonzero(degrees > 0)
+
+    def run(self) -> HistoryRecorder:
+        """Train for the configured epochs; returns the history."""
+        cfg = self.config
+        optimizer = Adam(self.model.parameters(), lr=cfg.lr)
+        scheduler = ExponentialDecay(optimizer, rate=cfg.lr_decay)
+        stopper = (EarlyStopping(patience=cfg.early_stopping_patience)
+                   if cfg.early_stopping_patience else None)
+        loss_fn = _LOSSES[cfg.loss]
+
+        self.model.train()
+        for epoch in range(cfg.epochs):
+            epoch_loss = 0.0
+            pair_count = 0
+            for _ in range(cfg.steps_per_epoch):
+                batch = sample_pairwise_batch(
+                    self._graph, self.data.target_behavior, self._sampler,
+                    cfg.batch_users, cfg.per_user, self._rng,
+                    eligible_users=self._eligible,
+                )
+                if len(batch) == 0:
+                    continue
+                pos_scores, neg_scores = self.model.batch_scores(
+                    batch.users, batch.pos_items, batch.neg_items,
+                )
+                loss = loss_fn(pos_scores, neg_scores, cfg.margin)
+                loss = loss + l2_regularization(self.model.parameters(), cfg.l2_weight)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                if hasattr(self.model, "on_step_end"):
+                    self.model.on_step_end()
+                epoch_loss += float(loss.data)
+                pair_count += len(batch)
+            lr = scheduler.step()
+            mean_loss = epoch_loss / max(pair_count, 1)
+
+            metric = None
+            if self.eval_fn is not None:
+                self.model.eval()
+                metric = float(self.eval_fn())
+                self.model.train()
+            self.history.record(epoch=epoch, loss=mean_loss, lr=lr,
+                                **({"metric": metric} if metric is not None else {}))
+            if self.config.verbose:  # pragma: no cover - logging only
+                suffix = f" metric={metric:.4f}" if metric is not None else ""
+                print(f"epoch {epoch:3d} loss={mean_loss:.4f} lr={lr:.5f}{suffix}")
+            if stopper is not None and metric is not None and stopper.update(metric):
+                break
+        self.model.eval()
+        return self.history

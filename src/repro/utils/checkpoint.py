@@ -1,0 +1,59 @@
+"""Model checkpointing: state dicts ↔ compressed ``.npz`` files.
+
+Parameter names contain dots (module paths), which ``np.savez`` handles
+fine as keys; metadata (model name, step, metrics) rides along as a JSON
+string under a reserved key.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(model, path: str | Path,
+                    metadata: dict | None = None) -> Path:
+    """Write ``model.state_dict()`` (plus metadata) to ``path`` (.npz).
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module`.
+    metadata:
+        JSON-serializable extras (epoch, metrics, config echo, ...).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name collides with reserved key {_META_KEY}")
+    payload = dict(state)
+    meta = dict(metadata or {})
+    meta.setdefault("num_parameters", int(sum(v.size for v in state.values())))
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_checkpoint(model, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        metadata: dict = {}
+        state: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(bytes(archive[key]).decode("utf-8"))
+            else:
+                state[key] = archive[key]
+    model.load_state_dict(state)
+    return metadata

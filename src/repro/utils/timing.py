@@ -1,0 +1,29 @@
+"""Tiny timing helper used by examples and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     pass
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(self):
+        self.elapsed: float = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.elapsed:.2f}s"

@@ -1,0 +1,76 @@
+"""Tests of the statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_paired_difference, mean_std, metric_std_error
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_singleton(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+
+class TestMetricStdError:
+    def test_formula(self):
+        assert metric_std_error(0.5, 100) == pytest.approx(0.05)
+
+    def test_extremes_are_zero(self):
+        assert metric_std_error(0.0, 100) == 0.0
+        assert metric_std_error(1.0, 100) == 0.0
+
+    def test_clamps_out_of_range(self):
+        assert metric_std_error(1.2, 100) == 0.0
+
+    def test_invalid_users(self):
+        with pytest.raises(ValueError):
+            metric_std_error(0.5, 0)
+
+    def test_shrinks_with_more_users(self):
+        assert metric_std_error(0.4, 400) < metric_std_error(0.4, 100)
+
+
+class TestBootstrap:
+    def test_identical_models_not_significant(self):
+        rng = np.random.default_rng(0)
+        ranks = rng.integers(0, 100, 200)
+        out = bootstrap_paired_difference(ranks, ranks.copy())
+        assert out["difference"] == 0.0
+        assert out["p_value"] > 0.5
+
+    def test_clearly_better_model_significant(self):
+        rng = np.random.default_rng(1)
+        better = rng.integers(0, 5, 300)     # always hits top-10
+        worse = rng.integers(20, 100, 300)   # never hits
+        out = bootstrap_paired_difference(better, worse)
+        assert out["difference"] == pytest.approx(1.0)
+        assert out["p_value"] < 0.01
+
+    def test_sign_symmetry(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 30, 200)
+        b = rng.integers(0, 30, 200)
+        ab = bootstrap_paired_difference(a, b, seed=3)
+        ba = bootstrap_paired_difference(b, a, seed=3)
+        assert ab["difference"] == pytest.approx(-ba["difference"])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_paired_difference(np.arange(5), np.arange(6))
+
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 30, 100)
+        b = rng.integers(0, 30, 100)
+        x = bootstrap_paired_difference(a, b, seed=9)
+        y = bootstrap_paired_difference(a, b, seed=9)
+        assert x == y

@@ -1,0 +1,86 @@
+"""Property-based tests for dataset splitting and candidate generation."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.data import (
+    InteractionDataset,
+    build_eval_candidates,
+    leave_one_out_split,
+)
+
+
+@st.composite
+def random_dataset(draw):
+    num_users = draw(st.integers(min_value=3, max_value=10))
+    num_items = draw(st.integers(min_value=8, max_value=20))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    # every user gets 2-5 target interactions at distinct items
+    users, items, timestamps = [], [], []
+    for user in range(num_users):
+        count = rng.integers(2, min(6, num_items))
+        chosen = rng.choice(num_items, size=count, replace=False)
+        users.extend([user] * count)
+        items.extend(chosen.tolist())
+        timestamps.extend(rng.random(count).tolist())
+    aux_count = draw(st.integers(min_value=0, max_value=20))
+    aux_users = rng.integers(0, num_users, aux_count)
+    aux_items = rng.integers(0, num_items, aux_count)
+    return InteractionDataset(
+        "prop", num_users, num_items, ("aux", "buy"), "buy",
+        {
+            "buy": {"users": np.array(users), "items": np.array(items),
+                    "timestamps": np.array(timestamps)},
+            "aux": {"users": aux_users, "items": aux_items},
+        },
+    )
+
+
+@given(random_dataset())
+@settings(max_examples=30, deadline=None)
+def test_split_conserves_interactions(dataset):
+    split = leave_one_out_split(dataset)
+    held_out = len(split)
+    assert (split.train.interaction_count("buy") + held_out
+            == dataset.interaction_count("buy"))
+
+
+@given(random_dataset())
+@settings(max_examples=30, deadline=None)
+def test_split_test_items_were_real_interactions(dataset):
+    split = leave_one_out_split(dataset)
+    for user, item in zip(split.test_users, split.test_items):
+        assert item in dataset.user_target_items(int(user))
+
+
+@given(random_dataset())
+@settings(max_examples=30, deadline=None)
+def test_every_eligible_user_appears_once(dataset):
+    split = leave_one_out_split(dataset)
+    users, _, _ = dataset.arrays("buy")
+    eligible = {u for u in range(dataset.num_users)
+                if (users == u).sum() >= 2}
+    assert set(split.test_users.tolist()) == eligible
+
+
+@given(random_dataset(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=20, deadline=None)
+def test_candidates_disjoint_from_train_positives(dataset, num_negatives):
+    from hypothesis import assume
+
+    split = leave_one_out_split(dataset)
+    # only feasible requests: every user must have enough never-interacted
+    # items left (the library correctly raises otherwise)
+    for user in split.test_users:
+        remaining = (dataset.num_items
+                     - split.train.user_target_items(int(user)).size - 1)
+        assume(remaining >= num_negatives)
+    candidates = build_eval_candidates(split.train, split.test_users,
+                                       split.test_items,
+                                       num_negatives=num_negatives,
+                                       rng=np.random.default_rng(0))
+    for user, row in zip(candidates.users, candidates.items):
+        train_items = set(split.train.user_target_items(int(user)).tolist())
+        negatives = set(row[1:].tolist())
+        assert not (negatives & train_items)
+        assert row[0] not in negatives

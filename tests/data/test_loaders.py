@@ -1,0 +1,104 @@
+"""Tests of the file loaders and the paper's rating→behavior mapping."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_interactions_csv, map_ratings_to_behaviors
+
+
+class TestRatingMapping:
+    def test_paper_thresholds(self):
+        """§IV-A: r ≤ 2 dislike, 2 < r < 4 neutral, r ≥ 4 like."""
+        out = map_ratings_to_behaviors(np.array([0.5, 2.0, 2.5, 3.9, 4.0, 5.0]))
+        assert list(out) == ["dislike", "dislike", "neutral", "neutral", "like", "like"]
+
+    def test_boundaries_exact(self):
+        assert map_ratings_to_behaviors(np.array([2.0]))[0] == "dislike"
+        assert map_ratings_to_behaviors(np.array([4.0]))[0] == "like"
+
+
+class TestCsvLoader:
+    def test_behavior_column_mode(self, tmp_path):
+        path = tmp_path / "taobao.csv"
+        path.write_text(
+            "user,item,behavior,timestamp\n"
+            "u1,i1,view,1\n"
+            "u1,i2,buy,2\n"
+            "u2,i1,buy,3\n"
+            "u1,i1,buy,4\n"
+        )
+        data = load_interactions_csv(path, name="t", target_behavior="buy")
+        assert data.num_users == 2 and data.num_items == 2
+        assert data.behavior_names == ("view", "buy")
+        assert data.interaction_count("buy") == 3
+        # dense reindexing in first-seen order: u1→0, i1→0
+        users, items, timestamps = data.arrays("view")
+        assert users[0] == 0 and items[0] == 0 and timestamps[0] == 1.0
+
+    def test_rating_column_mode(self, tmp_path):
+        path = tmp_path / "ml.csv"
+        path.write_text(
+            "user,item,rating,timestamp\n"
+            "a,x,5,10\n"
+            "a,y,1,11\n"
+            "b,x,3,12\n"
+        )
+        data = load_interactions_csv(path, name="ml", target_behavior="like",
+                                     behavior_col=None, rating_col="rating")
+        assert set(data.behavior_names) == {"like", "dislike", "neutral"}
+        assert data.interaction_count("like") == 1
+        assert data.interaction_count("dislike") == 1
+        assert data.interaction_count("neutral") == 1
+
+    def test_headerless_positional(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("u1,i1,view,1\nu1,i2,buy,2\nu2,i2,buy,5\n")
+        data = load_interactions_csv(path, name="p", target_behavior="buy",
+                                     has_header=False)
+        assert data.interaction_count() == 3
+
+    def test_explicit_behavior_filter(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text(
+            "user,item,behavior\nu1,i1,view\nu1,i2,buy\nu2,i1,weird\nu2,i2,buy\n")
+        data = load_interactions_csv(path, name="f", target_behavior="buy",
+                                     behavior_names=("view", "buy"),
+                                     timestamp_col=None)
+        assert data.behavior_names == ("view", "buy")
+        assert data.interaction_count() == 3  # 'weird' row dropped
+
+    def test_mode_exclusivity(self, tmp_path):
+        path = tmp_path / "x.csv"
+        path.write_text("user,item,behavior\n")
+        with pytest.raises(ValueError):
+            load_interactions_csv(path, name="x", target_behavior="buy",
+                                  behavior_col="behavior", rating_col="rating")
+        with pytest.raises(ValueError):
+            load_interactions_csv(path, name="x", target_behavior="buy",
+                                  behavior_col=None, rating_col=None)
+
+    def test_missing_target_raises(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("user,item,behavior\nu1,i1,view\n")
+        with pytest.raises(ValueError):
+            load_interactions_csv(path, name="m", target_behavior="buy")
+
+    def test_roundtrip_into_pipeline(self, tmp_path):
+        """A loaded dataset drives the graph/split machinery end to end."""
+        rows = ["user,item,behavior,timestamp"]
+        rng = np.random.default_rng(0)
+        for u in range(12):
+            for _ in range(4):
+                rows.append(f"u{u},i{rng.integers(0, 15)},view,{rng.random()}")
+            for _ in range(3):
+                rows.append(f"u{u},i{rng.integers(0, 15)},buy,{rng.random()}")
+        path = tmp_path / "rt.csv"
+        path.write_text("\n".join(rows) + "\n")
+        data = load_interactions_csv(path, name="rt", target_behavior="buy",
+                                     behavior_names=("view", "buy"))
+        graph = data.graph()
+        assert graph.num_behaviors == 2
+        from repro.data import leave_one_out_split
+
+        split = leave_one_out_split(data)
+        assert len(split) > 0

@@ -1,0 +1,55 @@
+"""Tests of evaluation-candidate generation (1 + 99 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_eval_candidates, leave_one_out_split
+
+
+@pytest.fixture(scope="module")
+def split_and_candidates():
+    from repro.data import taobao_like
+
+    data = taobao_like(num_users=40, num_items=120, seed=21)
+    split = leave_one_out_split(data)
+    candidates = build_eval_candidates(split.train, split.test_users,
+                                       split.test_items, num_negatives=30,
+                                       rng=np.random.default_rng(0))
+    return split, candidates
+
+
+class TestCandidates:
+    def test_shape(self, split_and_candidates):
+        split, candidates = split_and_candidates
+        assert candidates.items.shape == (len(split.test_users), 31)
+        assert candidates.num_negatives == 30
+        assert len(candidates) == len(split.test_users)
+
+    def test_positive_in_column_zero(self, split_and_candidates):
+        split, candidates = split_and_candidates
+        np.testing.assert_array_equal(candidates.items[:, 0], split.test_items)
+
+    def test_negatives_unique_per_row(self, split_and_candidates):
+        _, candidates = split_and_candidates
+        for row in candidates.items:
+            assert len(set(row.tolist())) == len(row)
+
+    def test_negatives_never_training_positives(self, split_and_candidates):
+        split, candidates = split_and_candidates
+        for user, row in zip(candidates.users, candidates.items):
+            train_items = set(split.train.user_target_items(int(user)).tolist())
+            assert not (set(row[1:].tolist()) & train_items)
+
+    def test_deterministic_with_seed(self, split_and_candidates):
+        split, _ = split_and_candidates
+        a = build_eval_candidates(split.train, split.test_users, split.test_items,
+                                  num_negatives=10, rng=np.random.default_rng(5))
+        b = build_eval_candidates(split.train, split.test_users, split.test_items,
+                                  num_negatives=10, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.items, b.items)
+
+    def test_too_many_negatives_rejected(self, split_and_candidates):
+        split, _ = split_and_candidates
+        with pytest.raises(ValueError):
+            build_eval_candidates(split.train, split.test_users, split.test_items,
+                                  num_negatives=10_000)

@@ -1,0 +1,61 @@
+"""Tests of the leave-one-out split."""
+
+import numpy as np
+import pytest
+
+from repro.data import leave_one_out_split
+
+
+class TestLeaveOneOut:
+    def test_held_out_removed_from_train(self, small_taobao):
+        split = leave_one_out_split(small_taobao)
+        for user, item in zip(split.test_users, split.test_items):
+            assert item not in split.train.user_target_items(int(user))
+
+    def test_one_test_item_per_user(self, small_taobao):
+        split = leave_one_out_split(small_taobao)
+        assert len(np.unique(split.test_users)) == len(split.test_users)
+
+    def test_train_keeps_at_least_one_positive(self, small_taobao):
+        split = leave_one_out_split(small_taobao)
+        for user in split.test_users:
+            assert split.train.user_target_items(int(user)).size >= 1
+
+    def test_timestamps_pick_most_recent(self, tiny_dataset):
+        split = leave_one_out_split(tiny_dataset, use_timestamps=True)
+        # user 0 bought item 1 at t=5 (latest) and item 0 at t=3
+        idx = list(split.test_users).index(0)
+        assert split.test_items[idx] == 1
+
+    def test_random_pick_deterministic_with_seed(self, small_taobao):
+        a = leave_one_out_split(small_taobao, rng=np.random.default_rng(3),
+                                use_timestamps=False)
+        b = leave_one_out_split(small_taobao, rng=np.random.default_rng(3),
+                                use_timestamps=False)
+        np.testing.assert_array_equal(a.test_items, b.test_items)
+
+    def test_users_with_single_interaction_skipped(self, tiny_dataset):
+        split = leave_one_out_split(tiny_dataset)
+        # users 1,2,3 have exactly one buy → not eligible
+        assert set(split.test_users.tolist()) == {0}
+
+    def test_min_train_interactions(self, small_taobao):
+        strict = leave_one_out_split(small_taobao, min_train_interactions=3)
+        loose = leave_one_out_split(small_taobao, min_train_interactions=1)
+        assert len(strict) <= len(loose)
+        for user in strict.test_users:
+            assert strict.train.user_target_items(int(user)).size >= 3
+
+    def test_auxiliary_behaviors_untouched(self, small_taobao):
+        split = leave_one_out_split(small_taobao)
+        for behavior in small_taobao.auxiliary_behaviors:
+            assert (split.train.interaction_count(behavior)
+                    == small_taobao.interaction_count(behavior))
+
+    def test_parallel_arrays_validated(self, small_taobao):
+        from repro.data.splits import LeaveOneOutSplit
+
+        with pytest.raises(ValueError):
+            LeaveOneOutSplit(train=small_taobao,
+                             test_users=np.array([1, 2]),
+                             test_items=np.array([1]))

@@ -1,0 +1,144 @@
+"""Tests of the synthetic dataset generators and their guarantees."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticConfig,
+    generate_multi_behavior_dataset,
+    movielens_like,
+    taobao_like,
+    yelp_like,
+)
+
+
+class TestGenericGenerator:
+    def test_requires_specs(self):
+        with pytest.raises(ValueError):
+            generate_multi_behavior_dataset(SyntheticConfig())
+
+    def test_target_must_be_in_specs(self):
+        cfg = SyntheticConfig(behavior_specs={"view": (0.5, 5)}, target_behavior="buy")
+        with pytest.raises(ValueError):
+            generate_multi_behavior_dataset(cfg)
+
+    def test_shapes_and_ranges(self):
+        cfg = SyntheticConfig(
+            num_users=30, num_items=40,
+            behavior_specs={"view": (0.3, 8.0), "like": (0.9, 3.0)},
+            target_behavior="like", seed=5,
+        )
+        data = generate_multi_behavior_dataset(cfg)
+        assert data.num_users == 30 and data.num_items == 40
+        for behavior in ("view", "like"):
+            users, items, _ = data.arrays(behavior)
+            assert users.min() >= 0 and users.max() < 30
+            assert items.min() >= 0 and items.max() < 40
+
+    def test_deterministic(self):
+        cfg = SyntheticConfig(num_users=20, num_items=30,
+                              behavior_specs={"like": (0.9, 4.0)},
+                              target_behavior="like", seed=9)
+        a = generate_multi_behavior_dataset(cfg)
+        b = generate_multi_behavior_dataset(cfg)
+        np.testing.assert_array_equal(a.arrays("like")[0], b.arrays("like")[0])
+        np.testing.assert_array_equal(a.arrays("like")[1], b.arrays("like")[1])
+
+
+class TestMovieLensLike:
+    def test_schema(self):
+        data = movielens_like(num_users=30, num_items=50, seed=1)
+        assert data.behavior_names == ("dislike", "neutral", "like")
+        assert data.target_behavior == "like"
+
+    def test_every_user_has_ratings(self):
+        data = movielens_like(num_users=30, num_items=50, seed=1)
+        total = np.zeros(30)
+        for behavior in data.behavior_names:
+            users, _, _ = data.arrays(behavior)
+            np.add.at(total, users, 1)
+        assert (total >= 2).all()
+
+    def test_like_is_plurality_behavior(self):
+        """The affinity-driven sampling makes liked items the most common."""
+        data = movielens_like(num_users=60, num_items=80, seed=2)
+        counts = {b: data.interaction_count(b) for b in data.behavior_names}
+        assert counts["like"] > counts["dislike"]
+
+
+class TestYelpLike:
+    def test_schema(self):
+        data = yelp_like(num_users=30, num_items=50, seed=1)
+        assert data.behavior_names == ("tip", "dislike", "neutral", "like")
+        assert data.target_behavior == "like"
+
+    def test_has_tips(self):
+        data = yelp_like(num_users=40, num_items=60, seed=3)
+        assert data.interaction_count("tip") > 0
+
+
+class TestTaobaoLike:
+    def test_schema(self):
+        data = taobao_like(num_users=30, num_items=50, seed=1)
+        assert data.behavior_names == ("page_view", "favorite", "cart", "purchase")
+        assert data.target_behavior == "purchase"
+
+    def test_funnel_shape(self):
+        """Views ≫ carts ≥ purchases — the e-commerce funnel."""
+        data = taobao_like(num_users=60, num_items=90, seed=4)
+        views = data.interaction_count("page_view")
+        carts = data.interaction_count("cart")
+        purchases = data.interaction_count("purchase")
+        assert views > carts
+        assert views > purchases
+
+    def test_every_user_purchases_at_least_twice(self):
+        """Guaranteed so leave-one-out always keeps a training edge."""
+        data = taobao_like(num_users=50, num_items=70, seed=5)
+        users, _, _ = data.arrays("purchase")
+        counts = np.bincount(users, minlength=50)
+        assert (counts >= 2).all()
+
+    def test_purchase_mix_of_funnel_and_direct(self):
+        """Purchases mix funnel buys (viewed first) with direct buys that
+        leave no view trace — neither path should dominate completely."""
+        data = taobao_like(num_users=60, num_items=120, seed=6)
+        graph = data.graph()
+        users, items, _ = data.arrays("purchase")
+        viewed = sum(
+            graph.has_edge("page_view", int(u), int(i)) for u, i in zip(users, items)
+        )
+        share = viewed / users.size
+        assert 0.15 < share < 0.9
+
+    def test_direct_fraction_knob(self):
+        """More direct purchases → smaller viewed-first share."""
+        def viewed_share(direct_fraction):
+            data = taobao_like(num_users=50, num_items=100, seed=6,
+                               direct_purchase_fraction=direct_fraction)
+            graph = data.graph()
+            users, items, _ = data.arrays("purchase")
+            hits = sum(graph.has_edge("page_view", int(u), int(i))
+                       for u, i in zip(users, items))
+            return hits / users.size
+
+        assert viewed_share(0.2) > viewed_share(0.9)
+
+    def test_timestamps_in_range(self):
+        data = taobao_like(num_users=20, num_items=40, seed=7)
+        for behavior in data.behavior_names:
+            _, _, timestamps = data.arrays(behavior)
+            assert timestamps.min() >= 0.0
+            assert timestamps.max() <= 1.5
+
+
+class TestBehaviorCorrelation:
+    def test_auxiliary_behaviors_carry_signal(self):
+        """Items a user favorites overlap their purchases more than chance."""
+        data = taobao_like(num_users=80, num_items=100, seed=8)
+        graph = data.graph()
+        fav = graph.adjacency("favorite").to_dense()
+        buy = graph.adjacency("purchase").to_dense()
+        overlap = (fav * buy).sum() / buy.sum()
+        # chance level would be fav density ≈ fav.mean()
+        assert overlap > 3 * fav.mean()

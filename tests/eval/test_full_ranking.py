@@ -1,0 +1,81 @@
+"""Tests of the full-catalog ranking extension and AUC."""
+
+import numpy as np
+import pytest
+
+from repro.data import leave_one_out_split
+from repro.eval import auc, evaluate_full_ranking
+
+
+class OracleModel:
+    """Knows the held-out items and scores them highest."""
+
+    def __init__(self, test_users, test_items, num_items):
+        self.lookup = dict(zip(test_users.tolist(), test_items.tolist()))
+        self.num_items = num_items
+
+    def score(self, users, items):
+        return np.array([
+            10.0 if self.lookup.get(int(u)) == int(i) else 0.0
+            for u, i in zip(users, items)
+        ])
+
+
+class TestFullRanking:
+    def test_oracle_ranks_first(self, small_taobao):
+        split = leave_one_out_split(small_taobao)
+        oracle = OracleModel(split.test_users, split.test_items,
+                             small_taobao.num_items)
+        result = evaluate_full_ranking(oracle, split.train,
+                                       split.test_users, split.test_items)
+        np.testing.assert_array_equal(result.ranks, 0)
+        assert result.hr(1) == 1.0
+
+    def test_training_positives_masked(self, small_taobao):
+        """A model scoring train positives highest must not be penalized."""
+        split = leave_one_out_split(small_taobao)
+
+        class TrainFavoring:
+            def __init__(self, train):
+                self.positives = {
+                    u: set(train.user_target_items(u).tolist())
+                    for u in range(train.num_users)
+                }
+
+            def score(self, users, items):
+                return np.array([
+                    5.0 if int(i) in self.positives[int(u)] else 0.0
+                    for u, i in zip(users, items)
+                ])
+
+        model = TrainFavoring(split.train)
+        result = evaluate_full_ranking(model, split.train,
+                                       split.test_users, split.test_items)
+        # positives all score 0 like other unseen items → ties only
+        assert (result.ranks < split.train.num_items).all()
+
+    def test_batching_consistent(self, small_taobao):
+        split = leave_one_out_split(small_taobao)
+        oracle = OracleModel(split.test_users, split.test_items,
+                             small_taobao.num_items)
+        a = evaluate_full_ranking(oracle, split.train, split.test_users,
+                                  split.test_items, batch_users=3)
+        b = evaluate_full_ranking(oracle, split.train, split.test_users,
+                                  split.test_items, batch_users=64)
+        np.testing.assert_array_equal(a.ranks, b.ranks)
+
+
+class TestAUC:
+    def test_perfect(self):
+        assert auc(np.array([0, 0]), num_candidates=100) == 1.0
+
+    def test_worst(self):
+        assert auc(np.array([99]), num_candidates=100) == pytest.approx(0.0)
+
+    def test_random_is_half(self):
+        ranks = np.arange(100)  # uniform over all positions
+        assert auc(ranks, num_candidates=100) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert auc(np.array([]), 10) == 0.0
+        assert auc(np.array([0]), 1) == 0.0

@@ -1,0 +1,44 @@
+"""Tests of the EXPERIMENTS.md generator."""
+
+import json
+
+import pytest
+
+import repro.experiments.report as report_module
+
+
+@pytest.fixture
+def results_dir(tmp_path, monkeypatch):
+    monkeypatch.setattr(report_module, "RESULTS_DIR", tmp_path)
+    return tmp_path
+
+
+class TestGenerate:
+    def test_handles_missing_results(self, results_dir):
+        text = report_module.generate()
+        assert "EXPERIMENTS" in text
+        assert "missing" in text
+
+    def test_includes_saved_table2(self, results_dir):
+        payload = {"GNMR": {"HR@10": 0.41, "NDCG@10": 0.28},
+                   "BiasMF": {"HR@10": 0.30, "NDCG@10": 0.20}}
+        (results_dir / "table2_taobao.json").write_text(json.dumps(payload))
+        text = report_module.generate()
+        assert "0.410" in text
+        assert "GNMR places" in text
+
+    def test_includes_fig2(self, results_dir):
+        payload = {"GNMR-be": {"HR@10": 0.4, "NDCG@10": 0.3},
+                   "GNMR-ma": {"HR@10": 0.41, "NDCG@10": 0.31},
+                   "GNMR": {"HR@10": 0.45, "NDCG@10": 0.33}}
+        (results_dir / "fig2_yelp.json").write_text(json.dumps(payload))
+        text = report_module.generate()
+        assert "GNMR-ma" in text
+
+    def test_table3_string_keys_tolerated(self, results_dir):
+        """json round-trips int keys as strings; generator must cope."""
+        payload = {"GNMR": {"HR": {str(n): 0.5 for n in (1, 3, 5, 7, 9)},
+                            "NDCG": {str(n): 0.4 for n in (1, 3, 5, 7, 9)}}}
+        (results_dir / "table3.json").write_text(json.dumps(payload))
+        text = report_module.generate()
+        assert "@9" in text

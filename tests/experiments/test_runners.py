@@ -1,0 +1,60 @@
+"""Tests of the experiment runners at tiny scale (fast, smoke-level)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_fig2,
+    run_fig3,
+    run_table1,
+    run_table2,
+    run_table4,
+)
+
+# Minimal scale so runner tests stay quick; shape checks live in benchmarks.
+SMOKE = ExperimentScale(num_users=40, num_items=100, num_negatives=20,
+                        epochs=2, steps_per_epoch=3, batch_users=8,
+                        per_user=2, pretrain_epochs=1)
+
+
+class TestTable1:
+    def test_rows_for_all_datasets(self):
+        rows = run_table1(SMOKE)
+        assert set(rows) == {"yelp-like", "movielens-like", "taobao-like"}
+        for row in rows.values():
+            assert row["User #"] == SMOKE.num_users
+            assert row["Interaction #"] > 0
+            assert 0 < row["density"] < 1
+
+
+class TestTable2:
+    def test_subset_of_models(self):
+        results = run_table2("taobao", SMOKE, models=("BiasMF", "GNMR"))
+        assert set(results) == {"BiasMF", "GNMR"}
+        for row in results.values():
+            assert 0.0 <= row["HR@10"] <= 1.0
+            assert 0.0 <= row["NDCG@10"] <= row["HR@10"] + 1e-9
+
+
+class TestFig2:
+    def test_all_variants_present(self):
+        results = run_fig2("taobao", SMOKE)
+        assert set(results) == {"GNMR-be", "GNMR-ma", "GNMR"}
+
+
+class TestTable4:
+    def test_variant_labels(self):
+        results = run_table4("taobao", SMOKE)
+        assert "GNMR" in results
+        assert "only purchase" in results
+        assert "w/o page_view" in results
+        # one w/o per behavior + only-target + full
+        assert len(results) == 4 + 2
+
+
+class TestFig3:
+    def test_depths_and_reference(self):
+        results = run_fig3("taobao", SMOKE, depths=(0, 2))
+        assert set(results) == {0, 2}
+        assert results[2]["HR% vs GNMR-2"] == pytest.approx(0.0)
+        assert "HR% vs GNMR-2" in results[0]

@@ -1,0 +1,95 @@
+"""Tests of experiment specifications and the model factory."""
+
+import pytest
+
+from repro.experiments import (
+    MODEL_NAMES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    TINY_SCALE,
+    dataset_by_name,
+    make_model,
+)
+from repro.data import leave_one_out_split
+
+
+class TestScales:
+    def test_train_config_from_scale(self):
+        config = TINY_SCALE.train_config()
+        assert config.epochs == TINY_SCALE.epochs
+        assert config.lr == TINY_SCALE.lr
+
+    def test_train_config_overrides(self):
+        config = TINY_SCALE.train_config(epochs=99)
+        assert config.epochs == 99
+
+    def test_gnmr_config_from_scale(self):
+        config = TINY_SCALE.gnmr_config(num_layers=1)
+        assert config.num_layers == 1
+        assert config.pretrain_epochs == TINY_SCALE.pretrain_epochs
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name,target", [
+        ("movielens", "like"), ("yelp", "like"), ("taobao", "purchase"),
+    ])
+    def test_by_name(self, name, target):
+        dataset = dataset_by_name(name, TINY_SCALE)
+        assert dataset.num_users == TINY_SCALE.num_users
+        assert dataset.target_behavior == target
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            dataset_by_name("netflix", TINY_SCALE)
+
+
+class TestModelFactory:
+    @pytest.fixture(scope="class")
+    def train(self):
+        return leave_one_out_split(dataset_by_name("taobao", TINY_SCALE)).train
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_every_table2_model_constructible(self, name, train):
+        model = make_model(name, train, TINY_SCALE)
+        assert model.num_parameters() > 0
+
+    def test_model_names_match_instances(self, train):
+        for name in MODEL_NAMES:
+            assert make_model(name, train, TINY_SCALE).name == name
+
+    def test_gnmr_overrides(self, train):
+        model = make_model("GNMR", train, TINY_SCALE,
+                           gnmr_overrides={"num_layers": 1, "pretrain": False})
+        assert len(model.layers) == 1
+
+    def test_unknown_model(self, train):
+        with pytest.raises(ValueError):
+            make_model("SVD++", train, TINY_SCALE)
+
+
+class TestPaperNumbers:
+    def test_table2_roster_complete(self):
+        assert set(PAPER_TABLE2) == set(MODEL_NAMES)
+        for model, rows in PAPER_TABLE2.items():
+            assert set(rows) == {"movielens", "yelp", "taobao"}
+
+    def test_gnmr_wins_every_dataset_in_paper(self):
+        for dataset in ("movielens", "yelp", "taobao"):
+            gnmr_hr = PAPER_TABLE2["GNMR"][dataset][0]
+            for model in MODEL_NAMES[:-1]:
+                assert gnmr_hr > PAPER_TABLE2[model][dataset][0]
+
+    def test_table3_gnmr_dominates(self):
+        for n in (1, 3, 5, 7, 9):
+            for model in PAPER_TABLE3:
+                if model == "GNMR":
+                    continue
+                assert PAPER_TABLE3["GNMR"]["HR"][n] > PAPER_TABLE3[model]["HR"][n]
+
+    def test_table4_full_model_best(self):
+        for dataset, rows in PAPER_TABLE4.items():
+            full_hr = rows["GNMR"][0]
+            for label, (hr, _) in rows.items():
+                if label != "GNMR":
+                    assert full_hr > hr

@@ -1,0 +1,235 @@
+"""Gradient checks for every primitive op in the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients
+from repro.tensor.tensor import concat, stack, where
+
+RNG = np.random.default_rng(0)
+
+
+def t(shape, requires_grad=True):
+    return Tensor(RNG.standard_normal(shape), requires_grad=requires_grad)
+
+
+class TestElementwise:
+    def test_add_same_shape(self):
+        check_gradients(lambda a, b: a + b, [t((3, 4)), t((3, 4))])
+
+    def test_add_broadcast_vector(self):
+        check_gradients(lambda a, b: a + b, [t((3, 4)), t((4,))])
+
+    def test_add_broadcast_scalar_tensor(self):
+        check_gradients(lambda a, b: a + b, [t((3, 4)), t(())])
+
+    def test_add_python_scalar(self):
+        check_gradients(lambda a: a + 2.5, [t((2, 3))])
+
+    def test_radd(self):
+        check_gradients(lambda a: 2.5 + a, [t((2, 3))])
+
+    def test_sub(self):
+        check_gradients(lambda a, b: a - b, [t((3, 2)), t((3, 2))])
+
+    def test_rsub(self):
+        check_gradients(lambda a: 1.0 - a, [t((3, 2))])
+
+    def test_neg(self):
+        check_gradients(lambda a: -a, [t((4,))])
+
+    def test_mul_broadcast_keepdim(self):
+        check_gradients(lambda a, b: a * b, [t((3, 4)), t((3, 1))])
+
+    def test_div(self):
+        a, b = t((3, 3)), t((3, 3))
+        b.data = b.data + 3.0 * np.sign(b.data)  # keep away from zero
+        check_gradients(lambda a, b: a / b, [a, b])
+
+    def test_rdiv(self):
+        a = t((3,))
+        a.data = a.data + 3.0 * np.sign(a.data)
+        check_gradients(lambda a: 2.0 / a, [a])
+
+    def test_pow(self):
+        a = t((3, 3))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a ** 3, [a])
+        check_gradients(lambda a: a ** 0.5, [a])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            t((2,)) ** t((2,))
+
+
+class TestUnary:
+    def test_exp(self):
+        check_gradients(lambda a: a.exp(), [t((3, 3))])
+
+    def test_log(self):
+        a = t((3, 3))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.log(), [a])
+
+    def test_sqrt(self):
+        a = t((3, 3))
+        a.data = np.abs(a.data) + 0.5
+        check_gradients(lambda a: a.sqrt(), [a])
+
+    def test_abs(self):
+        a = t((3, 3))
+        a.data = a.data + 0.5 * np.sign(a.data)  # keep away from kink
+        check_gradients(lambda a: a.abs(), [a])
+
+    def test_relu(self):
+        a = t((4, 4))
+        a.data = a.data + 0.3 * np.sign(a.data)
+        check_gradients(lambda a: a.relu(), [a])
+
+    def test_leaky_relu(self):
+        a = t((4, 4))
+        a.data = a.data + 0.3 * np.sign(a.data)
+        check_gradients(lambda a: a.leaky_relu(0.1), [a])
+
+    def test_sigmoid(self):
+        check_gradients(lambda a: a.sigmoid(), [t((3, 4))])
+
+    def test_tanh(self):
+        check_gradients(lambda a: a.tanh(), [t((3, 4))])
+
+    def test_clip(self):
+        a = t((5, 5))
+        check_gradients(lambda a: a.clip(-0.5, 0.5), [a], eps=1e-7)
+
+    def test_maximum(self):
+        a, b = t((3, 3)), t((3, 3))
+        b.data = a.data + np.where(RNG.random((3, 3)) > 0.5, 0.7, -0.7)
+        check_gradients(lambda a, b: a.maximum(b), [a, b])
+
+    def test_minimum(self):
+        a, b = t((3, 3)), t((3, 3))
+        b.data = a.data + np.where(RNG.random((3, 3)) > 0.5, 0.7, -0.7)
+        check_gradients(lambda a, b: a.minimum(b), [a, b])
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradients(lambda a: a.sum(), [t((3, 4))])
+
+    def test_sum_axis(self):
+        check_gradients(lambda a: a.sum(axis=0), [t((3, 4))])
+        check_gradients(lambda a: a.sum(axis=1, keepdims=True), [t((3, 4))])
+
+    def test_sum_multi_axis(self):
+        check_gradients(lambda a: a.sum(axis=(0, 2)), [t((2, 3, 4))])
+
+    def test_sum_negative_axis(self):
+        check_gradients(lambda a: a.sum(axis=-1), [t((2, 3))])
+
+    def test_mean(self):
+        check_gradients(lambda a: a.mean(), [t((3, 4))])
+        check_gradients(lambda a: a.mean(axis=1), [t((3, 4))])
+
+    def test_mean_value(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert float(a.mean().data) == pytest.approx(2.5)
+
+    def test_max_axis(self):
+        a = t((4, 5))
+        check_gradients(lambda a: a.max(axis=1), [a])
+
+    def test_max_all(self):
+        check_gradients(lambda a: a.max(), [t((4, 5))])
+
+    def test_min(self):
+        check_gradients(lambda a: a.min(axis=0), [t((4, 5))])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([[2.0, 2.0, 1.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestMatmul:
+    def test_matrix_matrix(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((3, 5)), t((5, 2))])
+
+    def test_matmul_operator(self):
+        check_gradients(lambda a, b: a @ b, [t((3, 5)), t((5, 2))])
+
+    def test_vector_vector(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((4,)), t((4,))])
+
+    def test_vector_matrix(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((4,)), t((4, 3))])
+
+    def test_matrix_vector(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((3, 4)), t((4,))])
+
+    def test_batched(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((2, 3, 4)), t((2, 4, 5))])
+
+    def test_batched_4d(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((2, 2, 3, 4)), t((2, 2, 4, 3))])
+
+    def test_batched_times_vector(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((2, 3, 4)), t((4,))])
+
+    def test_matrix_broadcast_into_batch(self):
+        check_gradients(lambda a, b: a.matmul(b), [t((3, 4)), t((5, 4, 2))])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_gradients(lambda a: a.reshape(6, 2), [t((3, 4))])
+        check_gradients(lambda a: a.reshape((2, 6)), [t((3, 4))])
+
+    def test_transpose_default(self):
+        check_gradients(lambda a: a.transpose(), [t((3, 4))])
+
+    def test_transpose_axes(self):
+        check_gradients(lambda a: a.transpose(1, 0, 2), [t((2, 3, 4))])
+
+    def test_swapaxes(self):
+        check_gradients(lambda a: a.swapaxes(-1, -2), [t((2, 3, 4))])
+
+    def test_squeeze_expand(self):
+        check_gradients(lambda a: a.squeeze(1), [t((3, 1, 4))])
+        check_gradients(lambda a: a.expand_dims(0), [t((3, 4))])
+
+    def test_getitem_slice(self):
+        check_gradients(lambda a: a[1:3], [t((5, 4))])
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_gradients(lambda a: a[idx], [t((5, 4))])
+
+    def test_getitem_pair_index(self):
+        rows = np.array([0, 1, 2])
+        cols = np.array([1, 0, 3])
+        check_gradients(lambda a: a[rows, cols], [t((4, 4))])
+
+    def test_gather_rows_duplicates_accumulate(self):
+        a = Tensor(np.eye(3), requires_grad=True)
+        idx = np.array([1, 1, 1])
+        a.gather_rows(idx).sum().backward()
+        np.testing.assert_allclose(a.grad[1], [3.0, 3.0, 3.0])
+        np.testing.assert_allclose(a.grad[0], 0.0)
+
+    def test_gather_rows_nd_indices(self):
+        idx = np.array([[0, 1], [2, 0]])
+        out = t((3, 4)).gather_rows(idx)
+        assert out.shape == (2, 2, 4)
+        check_gradients(lambda a: a.gather_rows(idx), [t((3, 4))])
+
+    def test_concat(self):
+        check_gradients(lambda a, b: concat([a, b], axis=0), [t((2, 3)), t((4, 3))])
+        check_gradients(lambda a, b: concat([a, b], axis=1), [t((2, 3)), t((2, 2))])
+
+    def test_stack(self):
+        check_gradients(lambda a, b: stack([a, b], axis=0), [t((2, 3)), t((2, 3))])
+        check_gradients(lambda a, b: stack([a, b], axis=-1), [t((2, 3)), t((2, 3))])
+
+    def test_where(self):
+        cond = RNG.random((3, 3)) > 0.5
+        check_gradients(lambda a, b: where(cond, a, b), [t((3, 3)), t((3, 3))])

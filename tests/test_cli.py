@@ -1,0 +1,56 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table2"])
+        assert args.dataset == "taobao"
+        assert not args.json
+
+    def test_train_model_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--model", "SVD"])
+
+    def test_scale_overrides(self):
+        args = build_parser().parse_args(
+            ["train", "--users", "30", "--items", "60", "--epochs", "2"])
+        assert args.users == 30 and args.items == 60 and args.epochs == 2
+
+
+class TestCommands:
+    def test_stats(self, capsys):
+        assert main(["stats", "--users", "30", "--items", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "taobao-like" in out
+
+    def test_train_tiny(self, capsys, tmp_path):
+        code = main(["train", "--model", "BiasMF", "--dataset", "taobao",
+                     "--users", "30", "--items", "80", "--epochs", "2",
+                     "--checkpoint", str(tmp_path / "m.npz")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "HR@10" in out
+        assert (tmp_path / "m.npz").exists()
+
+    def test_run_fig2_tiny(self, capsys):
+        code = main(["run", "fig2", "--dataset", "taobao",
+                     "--users", "30", "--items", "80", "--epochs", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GNMR-ma" in out
+
+    def test_run_json_flag(self, capsys):
+        code = main(["run", "fig3", "--dataset", "taobao", "--users", "30",
+                     "--items", "80", "--epochs", "1", "--json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GNMR-0" in out

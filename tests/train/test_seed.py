@@ -1,0 +1,31 @@
+"""Tests of reproducibility helpers."""
+
+import numpy as np
+
+from repro.train import seeded_rng, spawn_rngs
+
+
+def test_seeded_rng_deterministic():
+    a = seeded_rng(5).random(10)
+    b = seeded_rng(5).random(10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_seeded_rng_none_gives_fresh_entropy():
+    a = seeded_rng(None).random(10)
+    b = seeded_rng(None).random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_spawn_rngs_independent_streams():
+    rngs = spawn_rngs(0, 3)
+    draws = [rng.random(5) for rng in rngs]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_rngs_reproducible():
+    a = [rng.random(4) for rng in spawn_rngs(9, 2)]
+    b = [rng.random(4) for rng in spawn_rngs(9, 2)]
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)

@@ -1,0 +1,88 @@
+"""Tests of the generic pairwise trainer (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.models import BiasMF
+from repro.train import TrainConfig, Trainer
+
+
+@pytest.fixture
+def setup(small_taobao):
+    from repro.data import leave_one_out_split
+
+    split = leave_one_out_split(small_taobao)
+    model = BiasMF(split.train.num_users, split.train.num_items, seed=0)
+    return split.train, model
+
+
+class TestTraining:
+    def test_loss_decreases(self, setup):
+        train, model = setup
+        config = TrainConfig(epochs=20, steps_per_epoch=6, batch_users=16,
+                             per_user=2, lr=5e-3, seed=0)
+        history = Trainer(model, train, config).run()
+        losses = history.series("loss")
+        assert losses[-1] < losses[0]
+
+    def test_history_length(self, setup):
+        train, model = setup
+        config = TrainConfig(epochs=7, steps_per_epoch=2, seed=0)
+        history = Trainer(model, train, config).run()
+        assert len(history) == 7
+
+    def test_lr_decay_applied(self, setup):
+        train, model = setup
+        config = TrainConfig(epochs=3, steps_per_epoch=1, lr=1e-2,
+                             lr_decay=0.5, seed=0)
+        history = Trainer(model, train, config).run()
+        lrs = history.series("lr")
+        assert lrs == [5e-3, 2.5e-3, 1.25e-3]
+
+    def test_model_left_in_eval_mode(self, setup):
+        train, model = setup
+        Trainer(model, train, TrainConfig(epochs=1, steps_per_epoch=1)).run()
+        assert not model.training
+
+    def test_eval_fn_recorded(self, setup):
+        train, model = setup
+        calls = []
+
+        def fake_eval():
+            calls.append(1)
+            return 0.5
+
+        config = TrainConfig(epochs=3, steps_per_epoch=1, seed=0)
+        history = Trainer(model, train, config, eval_fn=fake_eval).run()
+        assert len(calls) == 3
+        assert history.series("metric") == [0.5, 0.5, 0.5]
+
+    def test_early_stopping(self, setup):
+        train, model = setup
+        metrics = iter([0.5, 0.4, 0.3, 0.2, 0.1, 0.05])
+        config = TrainConfig(epochs=10, steps_per_epoch=1, seed=0,
+                             early_stopping_patience=2)
+        history = Trainer(model, train, config, eval_fn=lambda: next(metrics)).run()
+        assert len(history) == 3  # stopped after 2 non-improving checks
+
+    def test_bpr_loss_option(self, setup):
+        train, model = setup
+        config = TrainConfig(epochs=3, steps_per_epoch=2, loss="bpr", seed=0)
+        history = Trainer(model, train, config).run()
+        assert np.isfinite(history.last()["loss"])
+
+    def test_unknown_loss_rejected(self, setup):
+        train, model = setup
+        with pytest.raises(ValueError):
+            Trainer(model, train, TrainConfig(loss="bogus"))
+
+    def test_deterministic_given_seed(self, small_taobao):
+        from repro.data import leave_one_out_split
+
+        split = leave_one_out_split(small_taobao)
+        config = TrainConfig(epochs=3, steps_per_epoch=3, seed=42)
+        histories = []
+        for _ in range(2):
+            model = BiasMF(split.train.num_users, split.train.num_items, seed=7)
+            histories.append(Trainer(model, split.train, config).run())
+        assert histories[0].series("loss") == histories[1].series("loss")

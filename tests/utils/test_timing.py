@@ -1,0 +1,22 @@
+"""Tests of the Timer helper."""
+
+import time
+
+from repro.utils import Timer
+
+
+def test_timer_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.01
+
+
+def test_timer_reusable():
+    t = Timer()
+    with t:
+        pass
+    first = t.elapsed
+    with t:
+        time.sleep(0.005)
+    assert t.elapsed >= 0.005
+    assert t.elapsed != first or t.elapsed >= 0.005
