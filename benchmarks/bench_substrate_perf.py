@@ -4,14 +4,35 @@ These measure the performance-critical primitives the reproduction is
 built on — autograd matmul, sparse propagation, GNMR forward/backward —
 so regressions in the engine show up here rather than as mysteriously
 slow table benches.
+
+Two comparison benches track the configurable-dtype compute path:
+
+* float32 vs float64 fused propagation (the fast path must stay ≥1.3×
+  faster, with gradient checks passing at both precisions);
+* fused stacked-CSR SpMM vs the per-behavior loop it replaced.
+
+Both emit JSON to ``benchmarks/results/substrate_dtype.json`` /
+``substrate_fused.json`` so the perf trajectory is trackable across PRs.
+Run standalone (no pytest needed) for the same numbers on stdout::
+
+    PYTHONPATH=src python benchmarks/bench_substrate_perf.py
 """
+
+import json
+import time
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
 
 from repro.nn import Adam, pairwise_hinge_loss
-from repro.tensor import SparseAdjacency, Tensor
+from repro.tensor import (
+    SparseAdjacency,
+    Tensor,
+    check_gradients,
+    default_dtype,
+    dtype_tolerances,
+)
 
 
 @pytest.fixture(scope="module")
@@ -78,3 +99,131 @@ def test_bench_gnmr_train_step(benchmark, gnmr_setup):
         model.on_step_end()
 
     benchmark(step)
+
+
+# ----------------------------------------------------------------------
+# configurable-dtype compute path
+# ----------------------------------------------------------------------
+
+def _best_time(fn, rounds: int = 7) -> float:
+    """Minimum wall time over several rounds (robust against noise)."""
+    fn()  # warm up caches / allocator
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _synthetic_workload(num_behaviors=3, num_users=4000, num_items=6000,
+                        dim=32, density=0.005, seed=0):
+    """Adjacency list + embedding table shaped like a full-graph model."""
+    rng = np.random.default_rng(seed)
+    matrices = [sp.random(num_users, num_items, density=density,
+                          random_state=100 + k, format="csr")
+                for k in range(num_behaviors)]
+    h = rng.standard_normal((num_items, dim))
+    return matrices, h
+
+
+def compare_dtype_propagation(rounds: int = 7) -> dict:
+    """Time fused multi-behavior propagation at float64 vs float32.
+
+    Also runs gradient checks of the sparse propagation op at both
+    precisions — a speedup that breaks gradients would be worthless.
+    """
+    matrices, h = _synthetic_workload()
+    results: dict = {"workload": {"behaviors": len(matrices),
+                                  "shape": list(matrices[0].shape),
+                                  "dim": h.shape[1],
+                                  "nnz": int(sum(m.nnz for m in matrices))}}
+    for dtype in ("float64", "float32"):
+        with default_dtype(dtype):
+            stack = SparseAdjacency(sp.vstack(matrices, format="csr"),
+                                    precompute_transpose=True)
+            dense = Tensor(h.astype(dtype), requires_grad=True)
+
+            def step():
+                dense.zero_grad()
+                stack.matmul(dense).sum().backward()
+
+            results[dtype] = {"seconds": _best_time(step, rounds)}
+            # gradient check on a small slice of the same structure
+            small = SparseAdjacency(sp.random(12, 15, density=0.3,
+                                              random_state=7))
+            probe = Tensor(np.random.default_rng(0)
+                           .standard_normal((15, 4)).astype(dtype),
+                           requires_grad=True)
+            check_gradients(lambda p: small.matmul(p), [probe],
+                            **dtype_tolerances(dtype))
+            results[dtype]["grad_check"] = "passed"
+    results["speedup_float32"] = (results["float64"]["seconds"]
+                                  / results["float32"]["seconds"])
+    return results
+
+
+def compare_fused_spmm(rounds: int = 7) -> dict:
+    """Fused stacked-CSR SpMM vs the per-behavior loop it replaced."""
+    matrices, h = _synthetic_workload()
+    adjacencies = [SparseAdjacency(m) for m in matrices]
+    stack = SparseAdjacency(sp.vstack(matrices, format="csr"),
+                            precompute_transpose=True)
+    k, (n, _) = len(matrices), matrices[0].shape
+    dense = Tensor(h)
+
+    def unfused():
+        from repro.tensor.tensor import stack as tensor_stack
+
+        per_type = [a.matmul(dense) for a in adjacencies]
+        return tensor_stack(per_type, axis=1)
+
+    def fused():
+        out = stack.matmul(dense)
+        return out.reshape(k, n, h.shape[1]).transpose(1, 0, 2)
+
+    np.testing.assert_array_equal(unfused().data, fused().data)
+    t_unfused = _best_time(unfused, rounds)
+    t_fused = _best_time(fused, rounds)
+    return {
+        "unfused_seconds": t_unfused,
+        "fused_seconds": t_fused,
+        "speedup_fused": t_unfused / t_fused,
+    }
+
+
+def test_bench_dtype_propagation(benchmark):
+    from conftest import run_once, save_results
+
+    results = run_once(benchmark, compare_dtype_propagation)
+    save_results("substrate_dtype", results)
+    assert results["float64"]["grad_check"] == "passed"
+    assert results["float32"]["grad_check"] == "passed"
+    # the acceptance bar for the fast path (measured ~1.8× on dev hardware)
+    assert results["speedup_float32"] >= 1.3, (
+        f"float32 propagation only {results['speedup_float32']:.2f}× faster")
+
+
+def test_bench_fused_spmm(benchmark):
+    from conftest import run_once, save_results
+
+    results = run_once(benchmark, compare_fused_spmm)
+    save_results("substrate_fused", results)
+    # fusion must never regress the SpMM itself (it mainly removes the
+    # per-behavior python/autograd overhead and the stack copy)
+    assert results["speedup_fused"] >= 0.9
+
+
+if __name__ == "__main__":  # CI smoke path: no pytest-benchmark required
+    payload = {
+        "dtype_propagation": compare_dtype_propagation(),
+        "fused_spmm": compare_fused_spmm(),
+    }
+    print(json.dumps(payload, indent=2))
+    # Timing ratios on shared CI runners are too noisy to gate on — surface
+    # them in the logs here; the pytest bench asserts the 1.3x bar when run
+    # explicitly on dedicated hardware.
+    ratio = payload["dtype_propagation"]["speedup_float32"]
+    if ratio < 1.3:
+        print(f"WARNING: float32 propagation speedup {ratio:.2f}x below the "
+              f"1.3x bar (noisy runner?)")

@@ -81,6 +81,7 @@ def cmd_train(args) -> int:
 
     from repro.data import build_eval_candidates, leave_one_out_split
     from repro.eval import evaluate_model
+    from repro.tensor import default_dtype
     from repro.utils import save_checkpoint
 
     scale = _scale_from_args(args)
@@ -89,10 +90,16 @@ def cmd_train(args) -> int:
     candidates = build_eval_candidates(
         split.train, split.test_users, split.test_items,
         num_negatives=scale.num_negatives, rng=np.random.default_rng(scale.seed))
-    model = make_model(args.model, split.train, scale)
+    # --dtype selects the compute precision end-to-end: the ambient default
+    # covers baselines built from numpy arrays, the GNMR override covers the
+    # engine/adjacency path, and TrainConfig covers the training loop.
+    overrides = {"dtype": args.dtype} if args.dtype else None
+    with default_dtype(args.dtype):  # None → ambient default
+        model = make_model(args.model, split.train, scale, gnmr_overrides=overrides)
     print(f"training {args.model} on {dataset.name} "
-          f"({model.num_parameters():,} parameters)")
-    model.fit(split.train, scale.train_config())
+          f"({model.num_parameters():,} parameters, dtype={args.dtype or 'float64'})")
+    model.fit(split.train, scale.train_config(
+        **({"dtype": args.dtype} if args.dtype else {})))
     outcome = evaluate_model(model, candidates)
     print(f"HR@10={outcome.hr(10):.3f} NDCG@10={outcome.ndcg(10):.3f} "
           f"MRR={outcome.mrr():.3f}")
@@ -132,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["movielens", "yelp", "taobao"])
     p_train.add_argument("--checkpoint", default=None,
                          help="write a .npz checkpoint here")
+    p_train.add_argument("--dtype", default=None,
+                         choices=["float32", "float64"],
+                         help="compute precision (float32 = fast path, "
+                              "float64 = bit-reproducible default)")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
 
     for p in (p_stats, p_run, p_train):

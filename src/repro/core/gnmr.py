@@ -5,6 +5,12 @@ Full-graph propagation: starting from (pre-trained) order-0 embeddings, L
 multi-order user/item embeddings H⁰..H^L; the preference score is the
 multi-order matching Σ_l H^l_u · H^l_v, trained with the pairwise hinge
 loss of Eq. (7).
+
+All adjacency handling, the fused multi-behavior SpMM, and the propagation
+cache live in the shared :class:`~repro.graph.engine.PropagationEngine`;
+this class owns the parameters and the multi-order matching. Precision is
+governed by ``config.dtype`` — float64 for bit-reproducible runs, float32
+for the bandwidth-bound fast path.
 """
 
 from __future__ import annotations
@@ -15,12 +21,12 @@ from repro.core.config import GNMRConfig
 from repro.core.layers import GNMRPropagationLayer
 from repro.core.pretrain import pretrain_embeddings
 from repro.data.dataset import InteractionDataset
+from repro.graph.engine import PropagationEngine
 from repro.models.base import Recommender
 from repro.nn import init as init_schemes
 from repro.nn.layers import Dropout
 from repro.nn.module import ModuleList, Parameter
-from repro.tensor import Tensor, no_grad
-from repro.tensor.sparse import SparseAdjacency
+from repro.tensor import Tensor, default_dtype, no_grad
 
 
 class GNMR(Recommender):
@@ -41,7 +47,8 @@ class GNMR(Recommender):
     * GNMR-be — ``config.variant(use_behavior_embedding=False)``;
     * GNMR-ma — ``config.variant(use_message_attention=False)``;
     * depth sweep — ``config.variant(num_layers=L)``;
-    * behavior subsets — ``dataset.drop_behaviors([...])`` / ``only_target()``.
+    * behavior subsets — ``dataset.drop_behaviors([...])`` / ``only_target()``;
+    * fast path — ``config.variant(dtype="float32")``.
     """
 
     name = "GNMR"
@@ -50,30 +57,26 @@ class GNMR(Recommender):
         super().__init__(dataset.num_users, dataset.num_items)
         self.config = config or GNMRConfig()
         self.dataset = dataset
-        if self.config.graph_behaviors is None:
+        cfg = self.config
+        if cfg.graph_behaviors is None:
             self.behavior_names = dataset.behavior_names
         else:
-            unknown = set(self.config.graph_behaviors) - set(dataset.behavior_names)
+            unknown = set(cfg.graph_behaviors) - set(dataset.behavior_names)
             if unknown:
                 raise ValueError(f"graph_behaviors not in dataset: {sorted(unknown)}")
-            self.behavior_names = tuple(self.config.graph_behaviors)
-        rng = np.random.default_rng(self.config.seed)
-        cfg = self.config
+            self.behavior_names = tuple(cfg.graph_behaviors)
 
-        graph = dataset.graph()
-        mode = "row" if cfg.aggregator == "mean" else None
-        self._user_adjacencies: list[SparseAdjacency] = []
-        self._item_adjacencies: list[SparseAdjacency] = []
-        for behavior in self.behavior_names:
-            if mode == "row":
-                self._user_adjacencies.append(graph.normalized_adjacency(behavior, "row"))
-                # item side: normalize over the item's user neighborhood
-                self._item_adjacencies.append(
-                    SparseAdjacency(graph.adjacency(behavior).matrix.T).normalized("row")
-                )
-            else:
-                self._user_adjacencies.append(graph.adjacency(behavior))
-                self._item_adjacencies.append(SparseAdjacency(graph.adjacency(behavior).matrix.T))
+        with default_dtype(cfg.dtype):  # None → ambient default
+            self._build(dataset, cfg)
+
+    def _build(self, dataset: InteractionDataset, cfg: GNMRConfig) -> None:
+        """Construct engine, embeddings and layers under the dtype scope."""
+        rng = np.random.default_rng(cfg.seed)
+        self.engine = PropagationEngine(
+            dataset.graph(),
+            behaviors=self.behavior_names,
+            normalization="row" if cfg.aggregator == "mean" else None,
+        )
 
         # order-0 embeddings (autoencoder pre-training per §III-A)
         if cfg.pretrain:
@@ -103,8 +106,10 @@ class GNMR(Recommender):
                                             cfg.embedding_dim, rng=rng)
             self.item_feature_proj = Linear(dataset.item_features.shape[1],
                                             cfg.embedding_dim, rng=rng)
-            self._user_feature_input = Tensor(dataset.user_features)
-            self._item_feature_input = Tensor(dataset.item_features)
+            self._user_feature_input = Tensor(dataset.user_features,
+                                              dtype=self.engine.dtype)
+            self._item_feature_input = Tensor(dataset.item_features,
+                                              dtype=self.engine.dtype)
 
         self.layers = ModuleList([
             GNMRPropagationLayer(
@@ -117,7 +122,16 @@ class GNMR(Recommender):
         ])
         self.dropout = Dropout(cfg.dropout, rng=rng) if cfg.dropout > 0 else None
 
-        self._cache: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+    # ------------------------------------------------------------------
+    # compatibility views (per-behavior adjacency lists live on the engine)
+    # ------------------------------------------------------------------
+    @property
+    def _user_adjacencies(self):
+        return self.engine.user_adjacencies
+
+    @property
+    def _item_adjacencies(self):
+        return self.engine.item_adjacencies
 
     # ------------------------------------------------------------------
     # propagation
@@ -137,8 +151,8 @@ class GNMR(Recommender):
         user_layers: list[Tensor] = [h_user]
         item_layers: list[Tensor] = [h_item]
         for layer in self.layers:
-            next_user = layer.propagate_side(self._user_adjacencies, h_item)
-            next_item = layer.propagate_side(self._item_adjacencies, h_user)
+            next_user = layer(self.engine.propagate_user(h_item))
+            next_item = layer(self.engine.propagate_item(h_user))
             if self.config.self_connection:
                 next_user = next_user + h_user
                 next_item = next_item + h_item
@@ -181,11 +195,11 @@ class GNMR(Recommender):
         return pos, neg
 
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        """Inference scores using cached propagated embeddings."""
+        """Inference scores using engine-cached propagated embeddings."""
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         user_arrays, item_arrays = self._propagated_arrays()
-        total = np.zeros(users.shape, dtype=np.float64)
+        total = np.zeros(users.shape, dtype=user_arrays[0].dtype)
         for hu, hv in zip(user_arrays, item_arrays):
             total += np.sum(hu[users] * hv[items], axis=1)
         if self.config.layer_combination == "mean":
@@ -193,7 +207,8 @@ class GNMR(Recommender):
         return total
 
     def _propagated_arrays(self) -> tuple[list[np.ndarray], list[np.ndarray]]:
-        if self._cache is None:
+        """Forward-propagated embedding tables, cached per engine version."""
+        def compute():
             was_training = self.training
             if was_training:
                 self.eval()  # dropout must be off for cached inference
@@ -203,16 +218,22 @@ class GNMR(Recommender):
             finally:
                 if was_training:
                     self.train()
-            self._cache = ([t.data for t in user_layers], [t.data for t in item_layers])
-        return self._cache
+            return ([t.data for t in user_layers], [t.data for t in item_layers])
+
+        return self.engine.cached("gnmr.layers", compute)
 
     def on_step_end(self) -> None:
         """Parameters changed — drop the cached propagation."""
-        self._cache = None
+        self.engine.invalidate()
 
     # ------------------------------------------------------------------
     # introspection (used by examples and tests)
     # ------------------------------------------------------------------
+    def _first_layer_stack(self) -> Tensor:
+        """η-transformed first-layer user-side messages ``(I, K, d)``."""
+        return self.layers[0].type_specific(
+            self.engine.propagate_user(self.item_embeddings))
+
     def behavior_attention(self) -> np.ndarray:
         """Average cross-behavior attention matrix of the first layer.
 
@@ -223,17 +244,7 @@ class GNMR(Recommender):
         if not self.layers or self.layers[0].attention is None:
             raise RuntimeError("model has no attention layer (GNMR-ma or 0 layers)")
         with no_grad():
-            per_type = []
-            layer = self.layers[0]
-            for adjacency in self._user_adjacencies:
-                aggregated = adjacency.matmul(self.item_embeddings)
-                if layer.behavior_embedding is not None:
-                    aggregated = layer.behavior_embedding(aggregated)
-                per_type.append(aggregated)
-            from repro.tensor.tensor import stack
-
-            stacked = stack(per_type, axis=1)
-            _, weights = layer.attention(stacked)
+            _, weights = self.layers[0].attention(self._first_layer_stack())
         return weights.data.mean(axis=(0, 1))
 
     def behavior_importance(self) -> np.ndarray:
@@ -242,15 +253,7 @@ class GNMR(Recommender):
             raise RuntimeError("model has no gated aggregation")
         with no_grad():
             layer = self.layers[0]
-            per_type = []
-            for adjacency in self._user_adjacencies:
-                aggregated = adjacency.matmul(self.item_embeddings)
-                if layer.behavior_embedding is not None:
-                    aggregated = layer.behavior_embedding(aggregated)
-                per_type.append(aggregated)
-            from repro.tensor.tensor import stack
-
-            stacked = stack(per_type, axis=1)
+            stacked = self._first_layer_stack()
             if layer.attention is not None:
                 stacked, _ = layer.attention(stacked)
             _, weights = layer.aggregation(stacked)

@@ -157,20 +157,27 @@ class GNMRPropagationLayer(Module):
             if use_gated_aggregation else None
         )
 
-    def propagate_side(self, adjacencies: list[SparseAdjacency],
-                       source: Tensor) -> Tensor:
-        """Messages for one side: K sparse aggregations → η → ξ → ψ.
+    def type_specific(self, stacked: Tensor) -> Tensor:
+        """Apply η to a per-behavior message stack ``(N, K, d)``.
 
-        ``adjacencies[k]`` maps source-side embeddings to target-side nodes
-        (users×items for the user side, items×users for the item side).
+        The memory transforms are shared across behavior types, so the K
+        per-type applications collapse into one batched pass over the
+        flattened ``(N·K, d)`` messages.
         """
-        per_type: list[Tensor] = []
-        for adjacency in adjacencies:
-            aggregated = adjacency.matmul(source)                    # (N, d)
-            if self.behavior_embedding is not None:
-                aggregated = self.behavior_embedding(aggregated)
-            per_type.append(aggregated)
-        stacked = stack(per_type, axis=1)                            # (N, K, d)
+        if self.behavior_embedding is None:
+            return stacked
+        n, k, d = stacked.shape
+        return self.behavior_embedding(stacked.reshape(n * k, d)).reshape(n, k, d)
+
+    def forward(self, stacked: Tensor) -> Tensor:
+        """Fuse a per-behavior message stack ``(N, K, d)`` into ``(N, d)``.
+
+        The stack comes from
+        :meth:`repro.graph.engine.PropagationEngine.propagate_user` /
+        ``propagate_item`` (one fused SpMM for all K behaviors); this layer
+        applies η → ξ → ψ on top.
+        """
+        stacked = self.type_specific(stacked)
         if self.attention is not None:
             stacked, _ = self.attention(stacked)
         if self.aggregation is not None:
@@ -178,3 +185,15 @@ class GNMRPropagationLayer(Module):
         else:
             fused = stacked.mean(axis=1)
         return fused
+
+    def propagate_side(self, adjacencies: list[SparseAdjacency],
+                       source: Tensor) -> Tensor:
+        """Messages for one side from explicit per-behavior adjacencies.
+
+        Convenience path (tests, ad-hoc use): aggregates with K separate
+        SpMMs and defers to :meth:`forward`. Models go through the
+        :class:`~repro.graph.engine.PropagationEngine`, which fuses the K
+        products into one stacked SpMM instead.
+        """
+        per_type = [adjacency.matmul(source) for adjacency in adjacencies]
+        return self.forward(stack(per_type, axis=1))

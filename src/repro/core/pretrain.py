@@ -80,9 +80,12 @@ def _behavior_weighted_profiles(dataset: InteractionDataset) -> tuple[np.ndarray
     Behaviors are weighted geometrically with the target behavior heaviest,
     so the profile keeps multi-behavior information in a single matrix.
     """
+    from repro.tensor import get_default_dtype
+
     graph = dataset.graph()
     num_behaviors = dataset.num_behaviors
-    user_profiles = np.zeros((dataset.num_users, dataset.num_items))
+    user_profiles = np.zeros((dataset.num_users, dataset.num_items),
+                             dtype=get_default_dtype())
     for k, behavior in enumerate(dataset.behavior_names):
         weight = 1.0 if behavior == dataset.target_behavior else 0.5 ** (num_behaviors - k)
         user_profiles += weight * graph.adjacency(behavior).to_dense()

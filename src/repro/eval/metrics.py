@@ -24,6 +24,20 @@ def rank_of_positive(scores: np.ndarray, positive_index: int = 0) -> int:
     return int(better + ties)
 
 
+def ranks_of_positives(scores: np.ndarray, positive_index: int = 0) -> np.ndarray:
+    """Vectorized :func:`rank_of_positive` over a (users × candidates) matrix.
+
+    One comparison pass over the whole matrix replaces the per-row Python
+    loop — the difference between milliseconds and seconds on full-catalog
+    evaluation. Tie-breaking is identical (pessimistic).
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    positive = scores[:, positive_index][:, None]
+    better = np.sum(scores > positive, axis=1)
+    ties = np.sum(scores == positive, axis=1) - 1  # exclude the positive itself
+    return (better + np.maximum(ties, 0)).astype(np.int64)
+
+
 def hit_ratio(ranks: np.ndarray, top_n: int) -> float:
     """HR@N: fraction of test users whose positive is in the top N."""
     ranks = np.asarray(ranks)

@@ -64,11 +64,10 @@ def evaluate_ranking(scores: np.ndarray) -> EvaluationResult:
     """Compute ranks from a (users × candidates) score matrix.
 
     Column 0 must hold the positive candidate (the
-    :class:`~repro.data.negatives.EvalCandidates` convention).
+    :class:`~repro.data.negatives.EvalCandidates` convention). Ranks are
+    computed with one vectorized comparison pass over the whole matrix.
     """
-    scores = np.asarray(scores, dtype=np.float64)
-    ranks = np.array([M.rank_of_positive(row) for row in scores], dtype=np.int64)
-    return EvaluationResult(ranks=ranks)
+    return EvaluationResult(ranks=M.ranks_of_positives(scores))
 
 
 def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
@@ -96,16 +95,18 @@ def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
         block = test_users[start:stop]
         flat_users = np.repeat(block, num_items)
         flat_items = np.tile(all_items, block.size)
-        scores = model.score(flat_users, flat_items).reshape(block.size, num_items)
+        scores = np.asarray(
+            model.score(flat_users, flat_items), dtype=np.float64,
+        ).reshape(block.size, num_items)
+        positives = test_items[start:stop]
+        positive_scores = scores[np.arange(block.size), positives]
+        # mask known positives so they never rank as competitors (the seen
+        # sets are ragged, so this assignment loop is the only per-user step)
         for offset, user in enumerate(block):
-            row = scores[offset].copy()
-            positive = test_items[start + offset]
-            positive_score = row[positive]
-            seen = train.user_target_items(int(user))
-            row[seen] = -np.inf  # never rank known positives as competitors
-            better = np.sum(row > positive_score)
-            ties = np.sum(row == positive_score) - 1
-            ranks[start + offset] = better + max(ties, 0)
+            scores[offset, train.user_target_items(int(user))] = -np.inf
+        better = np.sum(scores > positive_scores[:, None], axis=1)
+        ties = np.sum(scores == positive_scores[:, None], axis=1) - 1
+        ranks[start:stop] = better + np.maximum(ties, 0)
     return EvaluationResult(ranks=ranks)
 
 
@@ -123,6 +124,5 @@ def evaluate_model(model: Scorer, candidates: EvalCandidates,
         block_users = np.repeat(candidates.users[start:stop], width)
         block_items = candidates.items[start:stop].reshape(-1)
         scores = model.score(block_users, block_items).reshape(stop - start, width)
-        for offset, row in enumerate(scores):
-            ranks[start + offset] = M.rank_of_positive(row)
+        ranks[start:stop] = M.ranks_of_positives(scores)
     return EvaluationResult(ranks=ranks)

@@ -1,6 +1,13 @@
-"""Multi-behavior user–item interaction graph substrate."""
+"""Multi-behavior user–item interaction graph substrate.
+
+Besides the graph container this package hosts the
+:class:`~repro.graph.engine.PropagationEngine` — the shared message-passing
+engine (fused multi-behavior SpMM, normalization, propagation cache) that
+every graph recommender builds on.
+"""
 
 from repro.graph.interaction_graph import MultiBehaviorGraph, GraphStats
+from repro.graph.engine import PropagationEngine, bipartite_laplacian
 from repro.graph.sampling import (
     NegativeSampler,
     sample_pairwise_batch,
@@ -11,6 +18,8 @@ from repro.graph.sampling import (
 __all__ = [
     "MultiBehaviorGraph",
     "GraphStats",
+    "PropagationEngine",
+    "bipartite_laplacian",
     "NegativeSampler",
     "sample_pairwise_batch",
     "sample_seed_nodes",

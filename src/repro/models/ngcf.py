@@ -7,20 +7,24 @@ symmetrically normalized bipartite adjacency with self-loops. NGCF cannot
 differentiate behavior types; ``graph_mode`` selects whether it sees only
 the target behavior or the type-collapsed union of all behaviors
 (default — the stronger variant).
+
+Adjacency construction and propagation run through the shared
+:class:`~repro.graph.engine.PropagationEngine` (single-graph mode), which
+also provides the version-keyed cache behind :meth:`NGCF.score` and the
+``dtype`` fast path.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.data.dataset import InteractionDataset
+from repro.graph.engine import PropagationEngine
 from repro.models.base import Recommender
 from repro.nn import init as init_schemes
 from repro.nn.layers import Linear
 from repro.nn.module import ModuleList, Parameter
-from repro.tensor import Tensor, no_grad
-from repro.tensor.sparse import SparseAdjacency
+from repro.tensor import Tensor, default_dtype, no_grad
 
 
 class NGCF(Recommender):
@@ -29,27 +33,31 @@ class NGCF(Recommender):
     name = "NGCF"
 
     def __init__(self, dataset: InteractionDataset, embedding_dim: int = 16,
-                 num_layers: int = 2, graph_mode: str = "merged", seed: int = 0):
+                 num_layers: int = 2, graph_mode: str = "merged", seed: int = 0,
+                 dtype: str | None = None):
         super().__init__(dataset.num_users, dataset.num_items)
         if graph_mode not in ("merged", "target"):
             raise ValueError("graph_mode must be 'merged' or 'target'")
-        rng = np.random.default_rng(seed)
-        graph = dataset.graph()
-        if graph_mode == "merged":
-            r = graph.merged_adjacency().matrix
-        else:
-            r = graph.adjacency(dataset.target_behavior).matrix
-        self._laplacian = _bipartite_laplacian(r)
-        self.user_embeddings = Parameter(
-            init_schemes.xavier_normal((self.num_users, embedding_dim), rng), name="E_u")
-        self.item_embeddings = Parameter(
-            init_schemes.xavier_normal((self.num_items, embedding_dim), rng), name="E_v")
-        self.w1 = ModuleList([Linear(embedding_dim, embedding_dim, rng=rng)
-                              for _ in range(num_layers)])
-        self.w2 = ModuleList([Linear(embedding_dim, embedding_dim, rng=rng)
-                              for _ in range(num_layers)])
+        with default_dtype(dtype):  # None → ambient default
+            rng = np.random.default_rng(seed)
+            behavior = None if graph_mode == "merged" else dataset.target_behavior
+            self.engine = PropagationEngine.bipartite(dataset.graph(), behavior)
+            self.user_embeddings = Parameter(
+                init_schemes.xavier_normal((self.num_users, embedding_dim), rng),
+                name="E_u")
+            self.item_embeddings = Parameter(
+                init_schemes.xavier_normal((self.num_items, embedding_dim), rng),
+                name="E_v")
+            self.w1 = ModuleList([Linear(embedding_dim, embedding_dim, rng=rng)
+                                  for _ in range(num_layers)])
+            self.w2 = ModuleList([Linear(embedding_dim, embedding_dim, rng=rng)
+                                  for _ in range(num_layers)])
         self.num_layers = num_layers
-        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    @property
+    def _laplacian(self):
+        """The engine's normalized bipartite Laplacian (compat view)."""
+        return self.engine.adjacency
 
     # ------------------------------------------------------------------
     def propagate(self) -> tuple[Tensor, Tensor]:
@@ -60,7 +68,7 @@ class NGCF(Recommender):
         layers = [ego]
         current = ego
         for w1, w2 in zip(self.w1, self.w2):
-            side = self._laplacian.matmul(current)
+            side = self.engine.propagate(current)
             messages = w1(side) + w2(side * current)
             current = messages.leaky_relu(0.2)
             layers.append(current)
@@ -85,28 +93,15 @@ class NGCF(Recommender):
         return pos, neg
 
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        if self._cache is None:
+        def compute():
             with no_grad():
                 user_table, item_table = self.propagate()
-            self._cache = (user_table.data, item_table.data)
-        user_table, item_table = self._cache
+            return user_table.data, item_table.data
+
+        user_table, item_table = self.engine.cached("ngcf.tables", compute)
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         return np.sum(user_table[users] * item_table[items], axis=1)
 
     def on_step_end(self) -> None:
-        self._cache = None
-
-
-def _bipartite_laplacian(r: sp.csr_matrix) -> SparseAdjacency:
-    """Sym-normalized (users+items)² adjacency with self-loops."""
-    num_users, num_items = r.shape
-    upper = sp.hstack([sp.csr_matrix((num_users, num_users)), r])
-    lower = sp.hstack([r.T, sp.csr_matrix((num_items, num_items))])
-    adjacency = sp.vstack([upper, lower]).tocsr()
-    adjacency = adjacency + sp.eye(num_users + num_items, format="csr")
-    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
-    inv_sqrt = np.divide(1.0, np.sqrt(degrees), out=np.zeros_like(degrees),
-                         where=degrees > 0)
-    normalized = sp.diags(inv_sqrt) @ adjacency @ sp.diags(inv_sqrt)
-    return SparseAdjacency(normalized)
+        self.engine.invalidate()

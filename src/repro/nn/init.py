@@ -1,41 +1,45 @@
 """Weight initialization schemes.
 
 All initializers take an explicit ``numpy.random.Generator`` so that every
-model in the reproduction is fully seedable.
+model in the reproduction is fully seedable. Values are always *drawn* in
+float64 and then rounded to the module default dtype, so a given seed
+produces the same initialization (up to rounding) at every precision.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.tensor import get_default_dtype
+
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(get_default_dtype())
 
 
 def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Glorot normal: N(0, 2 / (fan_in + fan_out))."""
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.standard_normal(shape) * std
+    return (rng.standard_normal(shape) * std).astype(get_default_dtype())
 
 
 def he_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """Kaiming normal for ReLU networks: N(0, 2 / fan_in)."""
     fan_in, _ = _fans(shape)
-    return rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * np.sqrt(2.0 / fan_in)).astype(get_default_dtype())
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.01) -> np.ndarray:
     """Plain Gaussian init, the classic MF embedding initializer."""
-    return rng.standard_normal(shape) * std
+    return (rng.standard_normal(shape) * std).astype(get_default_dtype())
 
 
 def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

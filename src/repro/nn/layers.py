@@ -149,4 +149,6 @@ class GRUCell(Module):
         return (1.0 - z) * h + z * candidate
 
     def initial_state(self, batch: int) -> Tensor:
-        return Tensor(np.zeros((batch, self.hidden_dim)))
+        from repro.tensor import get_default_dtype
+
+        return Tensor(np.zeros((batch, self.hidden_dim), dtype=get_default_dtype()))

@@ -24,7 +24,7 @@ def bpr_loss(pos_scores: Tensor, neg_scores: Tensor) -> Tensor:
     """Bayesian personalized ranking: −Σ log σ(pos − neg)."""
     diff = pos_scores - neg_scores
     # -log σ(x) = softplus(-x), computed stably.
-    return ((-diff).maximum(Tensor(np.zeros(diff.shape)))
+    return ((-diff).maximum(Tensor(np.zeros(diff.shape, dtype=diff.data.dtype)))
             + ((-(diff.abs())).exp() + 1.0).log()).sum()
 
 
@@ -54,6 +54,7 @@ def l2_regularization(parameters: Iterable[Tensor], weight: float) -> Tensor:
     params = list(parameters)
     if weight == 0.0 or not params:
         return Tensor(0.0)
+    # accumulate in the parameters' own dtype so float32 models stay float32
     total = (params[0] * params[0]).sum()
     for p in params[1:]:
         total = total + (p * p).sum()

@@ -15,10 +15,19 @@ from repro.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A trainable tensor; always requires grad."""
+    """A trainable tensor; always requires grad.
 
-    def __init__(self, data, name: str | None = None):
-        super().__init__(data, requires_grad=True, name=name)
+    Unlike plain tensors, a parameter is always materialized in an explicit
+    dtype — the module default unless overridden — so a model constructed
+    under ``default_dtype("float32")`` is uniformly float32 even where its
+    code builds weights from float64 numpy arrays (``np.zeros`` biases etc.).
+    """
+
+    def __init__(self, data, name: str | None = None, dtype=None):
+        from repro.tensor.tensor import resolve_dtype
+
+        super().__init__(data, requires_grad=True, name=name,
+                         dtype=resolve_dtype(dtype))
 
 
 class Module:
@@ -101,7 +110,9 @@ class Module:
         if missing or unexpected:
             raise KeyError(f"state mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}")
         for name, p in own.items():
-            array = np.asarray(state[name], dtype=np.float64)
+            # preserve each parameter's dtype so checkpoints restore into
+            # float32 models without silently upcasting them
+            array = np.asarray(state[name], dtype=p.data.dtype)
             if array.shape != p.data.shape:
                 raise ValueError(f"shape mismatch for {name}: {array.shape} vs {p.data.shape}")
             p.data = array.copy()

@@ -2,6 +2,10 @@
 
 The paper trains GNMR with Adam (lr 1e-3, exponential decay 0.96); the
 other optimizers exist for baselines and for completeness of the substrate.
+
+Optimizer state mirrors each parameter's dtype (``np.zeros_like``), and all
+updates are in-place, so float32 models keep float32 state and updates even
+if a stray float64 gradient reaches them.
 """
 
 from __future__ import annotations

@@ -61,12 +61,12 @@ def dropout(x: Tensor, rate: float, training: bool,
         raise ValueError("dropout rate must be < 1")
     rng = rng or np.random.default_rng()
     mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
-    return x * Tensor(mask)
+    return x * Tensor(mask.astype(x.data.dtype))
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
     """Normalize rows to unit L2 norm (used by DMF cosine matching)."""
-    norm = (x * x).sum(axis=axis, keepdims=True).maximum(Tensor(eps)).sqrt()
+    norm = (x * x).sum(axis=axis, keepdims=True).maximum(eps).sqrt()
     return x / norm
 
 
@@ -86,14 +86,14 @@ def scaled_dot_product_attention(q: Tensor, k: Tensor, v: Tensor,
 
 def mse(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
     """Mean squared error over all elements."""
-    target = target if isinstance(target, Tensor) else Tensor(target)
+    target = prediction._coerce(target)
     diff = prediction - target
     return (diff * diff).mean()
 
 
 def binary_cross_entropy_with_logits(logits: Tensor, target: Tensor | np.ndarray) -> Tensor:
     """Stable BCE-with-logits: max(z,0) - z*y + log(1 + exp(-|z|)), averaged."""
-    target = target if isinstance(target, Tensor) else Tensor(target)
-    zeros = Tensor(np.zeros(logits.shape))
+    target = logits._coerce(target)
+    zeros = Tensor(np.zeros(logits.shape, dtype=logits.data.dtype))
     loss = logits.maximum(zeros) - logits * target + ((-logits.abs()).exp() + 1.0).log()
     return loss.mean()

@@ -10,7 +10,20 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, resolve_dtype
+
+
+def dtype_tolerances(dtype) -> dict[str, float]:
+    """Finite-difference settings appropriate for a compute dtype.
+
+    float64 uses the tight defaults of :func:`check_gradients`; float32
+    needs a larger step (its ~1e-7 relative rounding noise would otherwise
+    dominate the central difference) and correspondingly looser tolerances.
+    Pass the result as ``check_gradients(fn, inputs, **dtype_tolerances(dt))``.
+    """
+    if resolve_dtype(dtype) == np.dtype(np.float32):
+        return {"atol": 2e-2, "rtol": 2e-2, "eps": 1e-2}
+    return {"atol": 1e-5, "rtol": 1e-4, "eps": 1e-6}
 
 
 def numerical_grad(fn: Callable[..., Tensor], inputs: Sequence[Tensor],

@@ -5,6 +5,12 @@ Graph propagation in GNMR (and NGCF) is dominated by products of the form
 and ``H`` a dense embedding table. ``A`` is constant — it never needs a
 gradient — so we wrap a ``scipy.sparse.csr_matrix`` and provide a matmul op
 whose backward is simply ``Aᵀ @ grad``.
+
+The adjacency dtype follows the tensor default dtype (float32 when the fast
+compute path is selected via :func:`repro.tensor.set_default_dtype`) and the
+transpose needed by the backward pass is cached — shared in both directions
+through :attr:`SparseAdjacency.T` and optionally precomputed eagerly for
+adjacencies that participate in training.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.tensor.tensor import Tensor
+from repro.tensor.tensor import Tensor, resolve_dtype
 
 
 class SparseAdjacency:
@@ -22,14 +28,28 @@ class SparseAdjacency:
     ----------
     matrix:
         Any scipy sparse matrix (converted to CSR) or a dense array.
+    dtype:
+        Floating dtype of the stored values; defaults to the module default
+        dtype (:func:`repro.tensor.get_default_dtype`).
+    precompute_transpose:
+        Build the CSR transpose eagerly. Training paths want this: every
+        backward pass through :meth:`matmul` multiplies by ``Aᵀ``, so paying
+        the conversion once at construction keeps the first optimizer step
+        as fast as the rest.
     """
 
-    def __init__(self, matrix):
+    def __init__(self, matrix, dtype=None, precompute_transpose: bool = False):
+        dtype = resolve_dtype(dtype)
         if sp.issparse(matrix):
-            self.matrix = matrix.tocsr().astype(np.float64)
+            matrix = matrix.tocsr()
+            if matrix.dtype != dtype:
+                matrix = matrix.astype(dtype)
+            self.matrix = matrix
         else:
-            self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+            self.matrix = sp.csr_matrix(np.asarray(matrix, dtype=dtype))
         self._transpose_cache: sp.csr_matrix | None = None
+        if precompute_transpose:
+            self._transposed()
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -40,13 +60,27 @@ class SparseAdjacency:
         return self.matrix.nnz
 
     @property
+    def dtype(self) -> np.dtype:
+        return self.matrix.dtype
+
+    @property
     def T(self) -> "SparseAdjacency":
-        return SparseAdjacency(self._transposed())
+        """Transposed adjacency sharing the CSR cache in both directions."""
+        out = SparseAdjacency(self._transposed(), dtype=self.matrix.dtype)
+        out._transpose_cache = self.matrix
+        return out
 
     def _transposed(self) -> sp.csr_matrix:
         if self._transpose_cache is None:
             self._transpose_cache = self.matrix.T.tocsr()
         return self._transpose_cache
+
+    def astype(self, dtype) -> "SparseAdjacency":
+        """Copy with values cast to ``dtype`` (returns self when unchanged)."""
+        dtype = resolve_dtype(dtype)
+        if dtype == self.matrix.dtype:
+            return self
+        return SparseAdjacency(self.matrix, dtype=dtype)
 
     def row_degrees(self) -> np.ndarray:
         """Number of stored interactions per row (as float)."""
@@ -65,13 +99,14 @@ class SparseAdjacency:
         if mode == "row":
             deg = self.row_degrees()
             inv = np.divide(1.0, deg, out=np.zeros_like(deg), where=deg > 0)
-            return SparseAdjacency(sp.diags(inv) @ a)
+            return SparseAdjacency(sp.diags(inv) @ a, dtype=self.matrix.dtype)
         if mode == "sym":
             rdeg = self.row_degrees()
             cdeg = self.col_degrees()
             rinv = np.divide(1.0, np.sqrt(rdeg), out=np.zeros_like(rdeg), where=rdeg > 0)
             cinv = np.divide(1.0, np.sqrt(cdeg), out=np.zeros_like(cdeg), where=cdeg > 0)
-            return SparseAdjacency(sp.diags(rinv) @ a @ sp.diags(cinv))
+            return SparseAdjacency(sp.diags(rinv) @ a @ sp.diags(cinv),
+                                   dtype=self.matrix.dtype)
         raise ValueError(f"unknown normalization mode: {mode!r}")
 
     def matmul(self, dense: Tensor) -> Tensor:

@@ -5,10 +5,17 @@ operation produces a new ``Tensor`` that remembers its parents and a closure
 computing the local vector-Jacobian product. :meth:`Tensor.backward` performs
 a topological sort of the dynamic graph and accumulates gradients.
 
-All data is stored as ``float64`` numpy arrays by default; integer index
-arrays used by gather/scatter ops are kept as plain numpy arrays outside the
-graph. Broadcasting is fully supported — gradients of broadcast operands are
-reduced back to the operand shape with :func:`_unbroadcast`.
+Data is stored as floating-point numpy arrays whose precision is governed by
+the module-level *default dtype* (``float64`` out of the box, switchable to
+``float32`` via :func:`set_default_dtype` or the :func:`default_dtype`
+context manager — the fast path for memory-bandwidth-bound graph
+propagation). Float arrays passed in explicitly keep their dtype; scalars
+and python sequences wrapped mid-expression adopt the dtype of the tensor
+operand they combine with, so a float32 graph stays float32 without an
+ambient context. Integer index arrays used by gather/scatter ops are kept
+as plain numpy arrays outside the graph. Broadcasting is fully supported —
+gradients of broadcast operands are reduced back to the operand shape with
+:func:`_unbroadcast`.
 """
 
 from __future__ import annotations
@@ -19,6 +26,47 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 _GRAD_ENABLED: bool = True
+
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE: np.dtype = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Validate and normalize a dtype spec (``None`` → the current default)."""
+    if dtype is None:
+        return _DEFAULT_DTYPE
+    dt = np.dtype(dtype)
+    if dt not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported tensor dtype {dt} (use float32 or float64)")
+    return dt
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype given to new tensors built from scalars / python data."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the process-wide default floating dtype (``float32``/``float64``)."""
+    global _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype` to a block.
+
+    ``default_dtype(None)`` is a no-op (the ambient default stays active),
+    so callers can scope an optional dtype knob unconditionally:
+    ``with default_dtype(config.dtype): ...``.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
 
 
 def is_grad_enabled() -> bool:
@@ -57,12 +105,25 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(data) -> np.ndarray:
+def _as_array(data, dtype=None) -> np.ndarray:
+    """Coerce payload to a float array.
+
+    With ``dtype=None``, float32/float64 arrays keep their dtype and
+    everything else (lists, scalars, integer arrays) is cast to the module
+    default; an explicit ``dtype`` always wins.
+    """
+    if dtype is None:
+        if isinstance(data, np.ndarray) and data.dtype in _FLOAT_DTYPES:
+            return data
+        if isinstance(data, np.generic) and data.dtype in _FLOAT_DTYPES:
+            # numpy scalars (e.g. float32_array.sum()) keep their precision
+            return np.asarray(data)
+        dtype = _DEFAULT_DTYPE
+    else:
+        dtype = resolve_dtype(dtype)
     if isinstance(data, np.ndarray):
-        if data.dtype != np.float64:
-            return data.astype(np.float64)
-        return data
-    return np.asarray(data, dtype=np.float64)
+        return data if data.dtype == dtype else data.astype(dtype)
+    return np.asarray(data, dtype=dtype)
 
 
 class Tensor:
@@ -71,17 +132,21 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64``.
+        Array-like payload; float arrays keep their dtype, everything else
+        is converted to the module default dtype (see :func:`set_default_dtype`).
     requires_grad:
         Whether gradients should flow to this tensor. Leaf tensors with
         ``requires_grad=True`` accumulate into :attr:`grad`.
+    dtype:
+        Explicit dtype override (``float32`` / ``float64``).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
     __array_priority__ = 100  # make numpy defer to our __radd__ etc.
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
-        self.data: np.ndarray = _as_array(data)
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None,
+                 dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype)
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
         self.grad: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -104,6 +169,10 @@ class Tensor:
         return self.data.size
 
     @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
     def T(self) -> "Tensor":
         return self.transpose()
 
@@ -119,11 +188,39 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but cut from the graph."""
         return Tensor(self.data, requires_grad=False)
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast; the gradient is cast back on backward."""
+        dtype = resolve_dtype(dtype)
+        if dtype == self.data.dtype:
+            return self
+        original = self.data.dtype
+        data = self.data.astype(dtype)
+
+        def backward(grad: np.ndarray):
+            return (grad.astype(original),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def _coerce(self, other) -> "Tensor":
+        """Wrap a non-Tensor operand using *this* tensor's dtype.
+
+        Keeps float32 graphs float32: python scalars and lists appearing in
+        expressions adopt the tensor operand's precision instead of silently
+        promoting through the module default.
+        """
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(other, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -170,7 +267,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without a seed requires a scalar tensor")
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = _as_array(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
 
@@ -222,7 +319,7 @@ class Tensor:
     # elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         data = self.data + other.data
 
         def backward(grad: np.ndarray):
@@ -242,7 +339,7 @@ class Tensor:
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         data = self.data - other.data
 
         def backward(grad: np.ndarray):
@@ -254,10 +351,10 @@ class Tensor:
         return Tensor._make(data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor(other) - self
+        return self._coerce(other) - self
 
     def __mul__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         data = self.data * other.data
         a, b = self, other
 
@@ -272,7 +369,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         data = self.data / other.data
         a, b = self, other
 
@@ -285,7 +382,7 @@ class Tensor:
         return Tensor._make(data, (a, b), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
@@ -302,11 +399,11 @@ class Tensor:
     # ------------------------------------------------------------------
     def __gt__(self, other) -> "Tensor":
         other_data = other.data if isinstance(other, Tensor) else other
-        return Tensor((self.data > other_data).astype(np.float64))
+        return Tensor((self.data > other_data).astype(self.data.dtype))
 
     def __lt__(self, other) -> "Tensor":
         other_data = other.data if isinstance(other, Tensor) else other
-        return Tensor((self.data < other_data).astype(np.float64))
+        return Tensor((self.data < other_data).astype(self.data.dtype))
 
     # ------------------------------------------------------------------
     # unary math
@@ -394,7 +491,7 @@ class Tensor:
 
     def maximum(self, other) -> "Tensor":
         """Elementwise max; ties send the full gradient to ``self``."""
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         take_self = self.data >= other.data
         data = np.where(take_self, self.data, other.data)
         a, b = self, other
@@ -408,7 +505,7 @@ class Tensor:
         return Tensor._make(data, (a, b), backward)
 
     def minimum(self, other) -> "Tensor":
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         take_self = self.data <= other.data
         data = np.where(take_self, self.data, other.data)
         a, b = self, other
@@ -457,7 +554,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 g = np.expand_dims(g, axis)
                 d = np.expand_dims(d, axis)
-            mask = (self.data == d).astype(np.float64)
+            mask = (self.data == d).astype(self.data.dtype)
             # split gradient equally among ties to keep it a valid subgradient
             denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             return (np.broadcast_to(g, in_shape) * mask / denom,)
@@ -476,7 +573,7 @@ class Tensor:
         Batched operands must have identical batch dimensions (no batch
         broadcasting) — sufficient for the attention blocks used here.
         """
-        other = other if isinstance(other, Tensor) else Tensor(other)
+        other = self._coerce(other)
         a, b = self, other
         data = np.matmul(a.data, b.data)
 
@@ -561,9 +658,10 @@ class Tensor:
             index = index.data.astype(np.int64)
         data = self.data[index]
         in_shape = self.shape
+        in_dtype = self.data.dtype
 
         def backward(grad: np.ndarray):
-            out = np.zeros(in_shape, dtype=np.float64)
+            out = np.zeros(in_shape, dtype=in_dtype)
             np.add.at(out, index, grad)
             return (out,)
 
@@ -578,9 +676,10 @@ class Tensor:
         indices = np.asarray(indices, dtype=np.int64)
         data = self.data[indices]
         in_shape = self.shape
+        in_dtype = self.data.dtype
 
         def backward(grad: np.ndarray):
-            out = np.zeros(in_shape, dtype=np.float64)
+            out = np.zeros(in_shape, dtype=in_dtype)
             np.add.at(out, indices.reshape(-1), grad.reshape(-1, *in_shape[1:]))
             return (out,)
 
@@ -590,24 +689,29 @@ class Tensor:
     # convenience constructors
     # ------------------------------------------------------------------
     @staticmethod
-    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
+    def zeros(*shape, requires_grad: bool = False, dtype=None) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+        return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)),
+                      requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape, requires_grad: bool = False) -> "Tensor":
+    def ones(*shape, requires_grad: bool = False, dtype=None) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+        return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, rng: np.random.Generator | None = None, scale: float = 1.0,
-              requires_grad: bool = False) -> "Tensor":
+              requires_grad: bool = False, dtype=None) -> "Tensor":
         rng = rng or np.random.default_rng()
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        return Tensor(rng.standard_normal(shape) * scale, requires_grad=requires_grad)
+        # Draw in float64 so the same seed yields the same values at every
+        # precision, then round to the requested dtype.
+        values = rng.standard_normal(shape) * scale
+        return Tensor(values.astype(resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

@@ -40,6 +40,9 @@ class TrainConfig:
     seed: int = 0
     early_stopping_patience: int | None = None
     verbose: bool = False
+    #: compute precision for the training loop ("float32"/"float64");
+    #: ``None`` keeps the ambient tensor default dtype
+    dtype: str | None = None
 
 
 @dataclass
@@ -87,6 +90,12 @@ class Trainer:
 
     def run(self) -> HistoryRecorder:
         """Train for the configured epochs; returns the history."""
+        from repro.tensor import default_dtype
+
+        with default_dtype(self.config.dtype):  # None → ambient default
+            return self._run_loop()
+
+    def _run_loop(self) -> HistoryRecorder:
         cfg = self.config
         optimizer = Adam(self.model.parameters(), lr=cfg.lr)
         scheduler = ExponentialDecay(optimizer, rate=cfg.lr_decay)

@@ -95,7 +95,10 @@ class TestNoGrad:
 class TestTensorBasics:
     def test_dtype_coercion(self):
         assert Tensor([1, 2, 3]).data.dtype == np.float64
-        assert Tensor(np.arange(3, dtype=np.float32)).data.dtype == np.float64
+        assert Tensor(np.arange(3)).data.dtype == np.float64
+        # explicit float arrays keep their precision under the default dtype
+        assert Tensor(np.arange(3, dtype=np.float32)).data.dtype == np.float32
+        assert Tensor([1, 2, 3], dtype=np.float32).data.dtype == np.float32
 
     def test_shape_ndim_size_len(self):
         x = Tensor(np.zeros((2, 3)))
