@@ -214,15 +214,23 @@ def test_bench_fused_spmm(benchmark):
     assert results["speedup_fused"] >= 0.9
 
 
-if __name__ == "__main__":  # CI smoke path: no pytest-benchmark required
+if __name__ == "__main__":  # CI path: no pytest-benchmark required
+    from pathlib import Path
+
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
     payload = {
         "dtype_propagation": compare_dtype_propagation(),
         "fused_spmm": compare_fused_spmm(),
     }
+    # write the per-metric payloads the regression gate
+    # (benchmarks/check_regression.py) compares against the committed
+    # baselines
+    (results_dir / "substrate_dtype.json").write_text(
+        json.dumps(payload["dtype_propagation"], indent=2) + "\n")
+    (results_dir / "substrate_fused.json").write_text(
+        json.dumps(payload["fused_spmm"], indent=2) + "\n")
     print(json.dumps(payload, indent=2))
-    # Timing ratios on shared CI runners are too noisy to gate on — surface
-    # them in the logs here; the pytest bench asserts the 1.3x bar when run
-    # explicitly on dedicated hardware.
     ratio = payload["dtype_propagation"]["speedup_float32"]
     if ratio < 1.3:
         print(f"WARNING: float32 propagation speedup {ratio:.2f}x below the "

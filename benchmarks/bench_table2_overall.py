@@ -12,7 +12,6 @@ import pytest
 from benchmarks.conftest import run_once, save_results
 from repro.experiments import (
     MODEL_NAMES,
-    MULTI_BEHAVIOR_MODELS,
     PAPER_TABLE2,
     format_comparison,
     run_table2,

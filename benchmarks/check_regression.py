@@ -1,0 +1,179 @@
+"""CI perf-regression gate over the ``benchmarks/results`` JSON payloads.
+
+Compares a fresh benchmark run against the committed baselines and fails
+(exit 1) when the perf story regresses:
+
+* ``substrate_dtype.json`` — the float32 fast path must stay ≥ 1.3× over
+  float64 (the absolute bar the substrate bench has always asserted);
+* ``substrate_fused.json`` — the fused stacked-CSR SpMM must never drop
+  below parity-with-margin (0.9×) *and* must not lose more than the
+  tolerance versus the committed baseline speedup. (The fusion win is
+  Python/autograd overhead removal, ~1.2× on record — an absolute 1.3×
+  bar would fail the committed baseline itself, so this one is relative.)
+* ``serving_throughput.json`` — best retrieval users/sec must not regress
+  by more than the tolerance versus baseline. Both payloads carry a
+  fixed-size reference matmul timing, so the comparison uses
+  machine-normalized throughput (users/sec × reference seconds) when
+  available and raw users/sec otherwise.
+
+Usage (what CI runs after regenerating the fresh payloads)::
+
+    python benchmarks/check_regression.py \
+        --fresh benchmarks/results --baseline benchmarks/baseline
+
+Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
+``BENCH_FLOAT32_MIN`` (default 1.3), ``BENCH_FUSED_MIN`` (default 0.9).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "0.20"))
+FLOAT32_MIN = float(os.environ.get("BENCH_FLOAT32_MIN", "1.3"))
+FUSED_MIN = float(os.environ.get("BENCH_FUSED_MIN", "0.9"))
+
+
+def _load(directory: Path, name: str) -> dict | None:
+    path = directory / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def _load_baseline(directory: Path, name: str) -> dict | None:
+    """Baseline payload: the given directory, else the git-committed copy.
+
+    CI stashes the committed ``benchmarks/results`` into a baseline dir
+    before the benches overwrite it; locally that dir usually doesn't
+    exist, so fall back to ``git show HEAD:benchmarks/results/<name>.json``
+    — the same committed baseline, without a manual stash step.
+    """
+    payload = _load(directory, name)
+    if payload is not None:
+        return payload
+    import subprocess
+
+    repo_root = Path(__file__).resolve().parent.parent
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"HEAD:benchmarks/results/{name}.json"],
+            cwd=repo_root, capture_output=True, text=True, check=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, FileNotFoundError,
+            json.JSONDecodeError):
+        return None
+
+
+def _normalized_throughput(payload: dict) -> tuple[float, str]:
+    """Machine-normalized serving throughput, or raw when no reference."""
+    best = float(payload["best_users_per_sec"])
+    reference = payload.get("reference_matmul_seconds")
+    if reference:
+        return best * float(reference), "normalized"
+    return best, "raw"
+
+
+class Gate:
+    def __init__(self):
+        self.failures: list[str] = []
+        self.checks = 0
+
+    def check(self, label: str, ok: bool, detail: str) -> None:
+        self.checks += 1
+        status = "PASS" if ok else "FAIL"
+        print(f"[{status}] {label}: {detail}")
+        if not ok:
+            self.failures.append(label)
+
+    def skip(self, label: str, reason: str) -> None:
+        print(f"[skip] {label}: {reason}")
+
+
+def run(fresh_dir: Path, baseline_dir: Path) -> int:
+    gate = Gate()
+
+    # -------------------------------------------------- float32 fast path
+    dtype = _load(fresh_dir, "substrate_dtype")
+    if dtype is None:
+        gate.check("substrate_dtype", False, "fresh payload missing")
+    else:
+        speedup = float(dtype["speedup_float32"])
+        gate.check("float32-speedup", speedup >= FLOAT32_MIN,
+                   f"{speedup:.2f}x (floor {FLOAT32_MIN}x)")
+        for precision in ("float32", "float64"):
+            gate.check(f"grad-check-{precision}",
+                       dtype[precision]["grad_check"] == "passed",
+                       dtype[precision]["grad_check"])
+
+    # -------------------------------------------------------- fused SpMM
+    fused = _load(fresh_dir, "substrate_fused")
+    fused_base = _load_baseline(baseline_dir, "substrate_fused")
+    if fused is None:
+        gate.check("substrate_fused", False, "fresh payload missing")
+    else:
+        speedup = float(fused["speedup_fused"])
+        gate.check("fused-speedup-floor", speedup >= FUSED_MIN,
+                   f"{speedup:.2f}x (floor {FUSED_MIN}x)")
+        if fused_base is None:
+            gate.skip("fused-speedup-vs-baseline", "no committed baseline")
+        else:
+            base = float(fused_base["speedup_fused"])
+            floor = base * (1.0 - TOLERANCE)
+            gate.check("fused-speedup-vs-baseline", speedup >= floor,
+                       f"{speedup:.2f}x vs baseline {base:.2f}x "
+                       f"(floor {floor:.2f}x)")
+
+    # -------------------------------------------------------- serving
+    serving = _load(fresh_dir, "serving_throughput")
+    serving_base = _load_baseline(baseline_dir, "serving_throughput")
+    if serving is None:
+        gate.check("serving_throughput", False, "fresh payload missing")
+    else:
+        best = float(serving["best_users_per_sec"])
+        gate.check("serving-throughput-positive", best > 0,
+                   f"{best:,.0f} users/sec")
+        for batch, row in serving["batch_sizes"].items():
+            gate.check(f"serving-batch-{batch}",
+                       float(row["users_per_sec"]) > 0,
+                       f"{row['users_per_sec']:,.0f} users/sec")
+        if serving_base is None:
+            gate.skip("serving-vs-baseline", "no committed baseline")
+        else:
+            fresh_value, fresh_kind = _normalized_throughput(serving)
+            base_value, base_kind = _normalized_throughput(serving_base)
+            if fresh_kind != base_kind:
+                # one payload predates the reference timing — fall back
+                fresh_value = float(serving["best_users_per_sec"])
+                base_value = float(serving_base["best_users_per_sec"])
+                fresh_kind = "raw"
+            floor = base_value * (1.0 - TOLERANCE)
+            gate.check(
+                "serving-vs-baseline", fresh_value >= floor,
+                f"{fresh_value:,.2f} vs baseline {base_value:,.2f} "
+                f"({fresh_kind}; floor {floor:,.2f}, tol {TOLERANCE:.0%})")
+
+    print(f"\n{gate.checks} checks, {len(gate.failures)} failure(s)"
+          + (f": {', '.join(gate.failures)}" if gate.failures else ""))
+    return 1 if gate.failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path,
+                        default=Path(__file__).parent / "results",
+                        help="directory with the freshly generated JSON")
+    parser.add_argument("--baseline", type=Path,
+                        default=Path(__file__).parent / "baseline",
+                        help="directory with the committed baseline JSON")
+    args = parser.parse_args(argv)
+    return run(args.fresh, args.baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

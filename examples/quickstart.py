@@ -6,8 +6,6 @@ dataset → split → candidates → model → fit → evaluate → recommend.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
-
 from repro.core import GNMR, GNMRConfig
 from repro.data import build_eval_candidates, leave_one_out_split, taobao_like
 from repro.eval import evaluate_model

@@ -6,6 +6,7 @@ Examples::
     python -m repro.cli run table2 --dataset yelp   # one Table-II column
     python -m repro.cli run fig2 --dataset movielens
     python -m repro.cli train --dataset taobao --model GNMR --epochs 20
+    python -m repro.cli recommend --checkpoint m.npz --topk 10  # JSON top-K
     python -m repro.cli report                      # regenerate EXPERIMENTS.md
 """
 
@@ -80,7 +81,7 @@ def cmd_train(args) -> int:
     import numpy as np
 
     from repro.data import build_eval_candidates, leave_one_out_split
-    from repro.eval import evaluate_model
+    from repro.eval import evaluate_full_ranking, evaluate_model
     from repro.tensor import default_dtype
     from repro.utils import save_checkpoint
 
@@ -100,15 +101,91 @@ def cmd_train(args) -> int:
           f"({model.num_parameters():,} parameters, dtype={args.dtype or 'float64'})")
     model.fit(split.train, scale.train_config(
         **({"dtype": args.dtype} if args.dtype else {})))
-    outcome = evaluate_model(model, candidates)
-    print(f"HR@10={outcome.hr(10):.3f} NDCG@10={outcome.ndcg(10):.3f} "
-          f"MRR={outcome.mrr():.3f}")
+    if args.eval == "full":
+        outcome = evaluate_full_ranking(model, split.train,
+                                        split.test_users, split.test_items)
+        print(f"Recall@10={outcome.recall(10):.3f} "
+              f"NDCG@10={outcome.ndcg(10):.3f} MRR={outcome.mrr():.3f} "
+              f"(full catalog)")
+    else:
+        outcome = evaluate_model(model, candidates)
+        print(f"HR@10={outcome.hr(10):.3f} NDCG@10={outcome.ndcg(10):.3f} "
+              f"MRR={outcome.mrr():.3f}")
     if args.checkpoint:
+        # scale/dtype ride along so `recommend` can rebuild this exact model
         path = save_checkpoint(model, args.checkpoint,
                                metadata={"model": args.model,
                                          "dataset": dataset.name,
+                                         "dataset_arg": args.dataset,
+                                         "num_users": scale.num_users,
+                                         "num_items": scale.num_items,
+                                         "dtype": args.dtype,
                                          "HR@10": outcome.hr(10)})
         print(f"checkpoint written to {path}")
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    """Serve top-K recommendations as JSON (stdout stays machine-readable)."""
+    import numpy as np
+
+    from repro.data import leave_one_out_split
+    from repro.serve import RecommendationService
+    from repro.tensor import default_dtype
+    from repro.utils import load_checkpoint, peek_checkpoint
+
+    meta = peek_checkpoint(args.checkpoint) if args.checkpoint else {}
+    model_name = args.model or meta.get("model") or "GNMR"
+    dataset_name = args.dataset or meta.get("dataset_arg") or "taobao"
+    dtype = args.dtype or meta.get("dtype")
+    if args.users is None and meta.get("num_users"):
+        args.users = int(meta["num_users"])
+    if args.items is None and meta.get("num_items"):
+        args.items = int(meta["num_items"])
+    scale = _scale_from_args(args)
+    dataset = dataset_by_name(dataset_name, scale)
+    split = leave_one_out_split(dataset)
+
+    overrides = dict({"dtype": dtype} if dtype else {})
+    if args.checkpoint and model_name == "GNMR":
+        # pre-training only shapes the initialization, which the checkpoint
+        # overwrites anyway — skip the wasted autoencoder epochs
+        overrides["pretrain"] = False
+    with default_dtype(dtype):  # None → ambient default
+        model = make_model(model_name, split.train, scale,
+                           gnmr_overrides=overrides or None)
+    if args.checkpoint:
+        load_checkpoint(model, args.checkpoint)
+    else:
+        model.fit(split.train, scale.train_config(
+            **({"dtype": dtype} if dtype else {})))
+
+    service = RecommendationService(
+        model, train=split.train, dtype=args.serve_dtype,
+        batch_users=args.batch_users,
+        exclude=None if args.include_seen else "target")
+    if args.user_ids:
+        users = np.array([int(u) for u in args.user_ids.split(",")], dtype=np.int64)
+        bad = users[(users < 0) | (users >= model.num_users)]
+        if bad.size:
+            print(f"user ids out of range [0, {model.num_users}): "
+                  f"{bad.tolist()}", file=sys.stderr)
+            return 2
+    else:
+        users = np.arange(min(8, model.num_users), dtype=np.int64)
+    result = service.recommend(users, k=args.topk)
+    payload = {
+        "model": model_name,
+        "dataset": dataset.name,
+        "k": int(args.topk),
+        "num_users": model.num_users,
+        "num_items": model.num_items,
+        "backend": "matrix" if service.store is not None else "brute-force",
+        "snapshot_version": service.snapshot_version,
+        "exclude_seen": not args.include_seen,
+        "recommendations": result.to_payload(),
+    }
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -143,9 +220,38 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["float32", "float64"],
                          help="compute precision (float32 = fast path, "
                               "float64 = bit-reproducible default)")
+    p_train.add_argument("--eval", default="sampled",
+                         choices=["sampled", "full"],
+                         help="ranking protocol: sampled 99-negative "
+                              "(paper) or full-catalog Recall@K/NDCG@K")
+    p_rec = sub.add_parser(
+        "recommend",
+        help="serve top-K recommendations as JSON (repro.serve)")
+    p_rec.add_argument("--checkpoint", default=None,
+                       help="load a trained model from this .npz (its "
+                            "metadata restores model/dataset/scale/dtype); "
+                            "without it a model is trained in-process")
+    p_rec.add_argument("--model", default=None, choices=list(MODEL_NAMES))
+    p_rec.add_argument("--dataset", default=None,
+                       choices=["movielens", "yelp", "taobao"])
+    p_rec.add_argument("--dtype", default=None,
+                       choices=["float32", "float64"],
+                       help="model compute precision (checkpoint metadata "
+                            "wins when present)")
+    p_rec.add_argument("--serve-dtype", default="float32",
+                       choices=["float32", "float64"],
+                       help="embedding snapshot precision for serving")
+    p_rec.add_argument("--topk", type=int, default=10,
+                       help="recommendations per user")
+    p_rec.add_argument("--user-ids", default=None,
+                       help="comma-separated user ids (default: first 8)")
+    p_rec.add_argument("--batch-users", type=int, default=256,
+                       help="users scored per retrieval block")
+    p_rec.add_argument("--include-seen", action="store_true",
+                       help="do not exclude already-interacted items")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
 
-    for p in (p_stats, p_run, p_train):
+    for p in (p_stats, p_run, p_train, p_rec):
         p.add_argument("--users", type=int, default=None)
         p.add_argument("--items", type=int, default=None)
         p.add_argument("--epochs", type=int, default=None)
@@ -154,8 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"stats": cmd_stats, "run": cmd_run,
-                "train": cmd_train, "report": cmd_report}
+    handlers = {"stats": cmd_stats, "run": cmd_run, "train": cmd_train,
+                "recommend": cmd_recommend, "report": cmd_report}
     return handlers[args.command](args)
 
 

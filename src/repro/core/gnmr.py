@@ -222,6 +222,26 @@ class GNMR(Recommender):
 
         return self.engine.cached("gnmr.layers", compute)
 
+    def serving_embeddings(self) -> tuple[np.ndarray, np.ndarray]:
+        """Multi-order embeddings concatenated into one serving table pair.
+
+        Σ_l ⟨H^l_u, H^l_v⟩ equals ⟨concat_l H^l_u, concat_l H^l_v⟩, so the
+        full multi-order matching collapses to a single inner product —
+        exactly what the blocked top-K retriever needs. The concatenation
+        is memoized on the engine alongside the propagated layers, so
+        repeated snapshots between training steps are free. The ``mean``
+        layer combination folds its 1/(L+1) factor into the user side.
+        """
+        def compute():
+            user_arrays, item_arrays = self._propagated_arrays()
+            user_matrix = np.concatenate(user_arrays, axis=1)
+            item_matrix = np.concatenate(item_arrays, axis=1)
+            if self.config.layer_combination == "mean":
+                user_matrix = user_matrix / (self.config.num_layers + 1)
+            return user_matrix, item_matrix
+
+        return self.engine.cached("gnmr.serving", compute)
+
     def on_step_end(self) -> None:
         """Parameters changed — drop the cached propagation."""
         self.engine.invalidate()

@@ -9,7 +9,7 @@ the :class:`~repro.graph.MultiBehaviorGraph` used for message passing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

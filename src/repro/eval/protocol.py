@@ -43,6 +43,11 @@ class EvaluationResult:
             self._cache[key] = M.ndcg(self.ranks, n)
         return self._cache[key]
 
+    def recall(self, n: int = 10) -> float:
+        """Recall@N — equals HR@N under the one-positive protocol, and is
+        the conventional name under full-catalog ranking."""
+        return self.hr(n)
+
     def mrr(self) -> float:
         if "mrr" not in self._cache:
             self._cache["mrr"] = M.mrr(self.ranks)
@@ -72,38 +77,49 @@ def evaluate_ranking(scores: np.ndarray) -> EvaluationResult:
 
 def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
                           test_items: np.ndarray,
-                          batch_users: int = 64) -> EvaluationResult:
+                          batch_users: int = 64,
+                          use_serving: bool = True) -> EvaluationResult:
     """Rank each held-out positive against the *entire* catalog.
 
     The sampled 99-negative protocol (the paper's) is cheap but noisy; this
-    extension ranks against every item the user has not interacted with
-    under the target behavior — the strict variant used by later work.
+    mode ranks against every item the user has not interacted with under
+    the target behavior — the strict Recall@K/NDCG@K variant used by later
+    work, and exactly the workload the serving layer optimizes. Scoring
+    runs through :mod:`repro.serve` backends: a blocked matmul over the
+    model's serving embeddings when it has them, brute-force pairwise
+    scoring otherwise; known training positives are suppressed with one
+    vectorized CSR exclusion pass per block.
 
     Parameters
     ----------
     train:
         The training :class:`~repro.data.dataset.InteractionDataset`,
         used to mask out known positives.
+    use_serving:
+        Allow the factored fast path (``False`` forces brute force, e.g.
+        to cross-check the serving embeddings).
     """
+    from repro.serve import ExclusionMask, ScorerBackend, backend_for
+
     test_users = np.asarray(test_users, dtype=np.int64)
     test_items = np.asarray(test_items, dtype=np.int64)
     num_items = train.num_items
-    all_items = np.arange(num_items, dtype=np.int64)
+    if use_serving:
+        backend = backend_for(model, num_items=num_items)
+    else:
+        backend = ScorerBackend(model, num_items=num_items)
+    seen = ExclusionMask.from_dataset(train, behaviors="target")
     ranks = np.empty(test_users.size, dtype=np.int64)
     for start in range(0, test_users.size, batch_users):
         stop = min(start + batch_users, test_users.size)
         block = test_users[start:stop]
-        flat_users = np.repeat(block, num_items)
-        flat_items = np.tile(all_items, block.size)
-        scores = np.asarray(
-            model.score(flat_users, flat_items), dtype=np.float64,
-        ).reshape(block.size, num_items)
+        scores = np.asarray(backend.score_block(block), dtype=np.float64)
         positives = test_items[start:stop]
         positive_scores = scores[np.arange(block.size), positives]
-        # mask known positives so they never rank as competitors (the seen
-        # sets are ragged, so this assignment loop is the only per-user step)
-        for offset, user in enumerate(block):
-            scores[offset, train.user_target_items(int(user))] = -np.inf
+        # mask known positives so they never rank as competitors (the
+        # held-out positive itself is absent from the training graph, so
+        # its score is read before masking and stays untouched)
+        seen.apply(block, scores)
         better = np.sum(scores > positive_scores[:, None], axis=1)
         ties = np.sum(scores == positive_scores[:, None], axis=1) - 1
         ranks[start:stop] = better + np.maximum(ties, 0)

@@ -7,7 +7,7 @@ which is the reproduction target on synthetic data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core import GNMR, GNMRConfig
 from repro.data import InteractionDataset, movielens_like, taobao_like, yelp_like

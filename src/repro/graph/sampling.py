@@ -30,42 +30,66 @@ class NegativeSampler:
     """Uniform negative sampler with rejection against observed positives.
 
     Positives are defined w.r.t. a fixed behavior (usually the target).
-    Rejection uses per-user hash sets, so sampling stays O(1) per draw even
-    for heavy users.
+    The per-user positive sets are *views into the behavior's CSR arrays*
+    — construction is O(1) Python work regardless of the user count
+    (formerly an O(U) loop materializing one hash set per user), and
+    rejection tests an entire draw vector at once with a ``searchsorted``
+    membership check against the user's sorted positive row.
     """
 
     def __init__(self, graph: MultiBehaviorGraph, behavior: str,
                  extra_exclude: dict[int, set[int]] | None = None):
         self.num_items = graph.num_items
-        self._positives: list[set[int]] = [
-            set(graph.user_items(behavior, u).tolist()) for u in range(graph.num_users)
-        ]
+        matrix = graph.adjacency(behavior).matrix
+        if not matrix.has_sorted_indices:
+            matrix.sort_indices()
+        self._indptr = matrix.indptr
+        self._indices = matrix.indices.astype(np.int64, copy=False)
+        # users with extra exclusions get a private merged (sorted) row;
+        # everyone else keeps the zero-copy CSR slice
+        self._overrides: dict[int, np.ndarray] = {}
         if extra_exclude:
             for user, items in extra_exclude.items():
-                self._positives[user] |= set(items)
+                base = self._csr_row(user)
+                self._overrides[user] = np.union1d(
+                    base, np.fromiter(items, dtype=np.int64, count=len(items)))
+
+    def _csr_row(self, user: int) -> np.ndarray:
+        return self._indices[self._indptr[user]:self._indptr[user + 1]]
+
+    def _positive_row(self, user: int) -> np.ndarray:
+        """Sorted array of the user's excluded items (view, not a copy)."""
+        override = self._overrides.get(user)
+        return override if override is not None else self._csr_row(user)
 
     def positives(self, user: int) -> set[int]:
-        return self._positives[user]
+        return set(self._positive_row(user).tolist())
 
     def can_sample(self, user: int) -> bool:
         """Whether the user has at least one non-interacted item left."""
-        return len(self._positives[user]) < self.num_items
+        return self._positive_row(user).size < self.num_items
 
     def sample(self, user: int, count: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``count`` items the user never interacted with."""
-        exclude = self._positives[user]
-        if len(exclude) >= self.num_items:
+        exclude = self._positive_row(user)
+        if exclude.size >= self.num_items:
             raise ValueError(f"user {user} interacted with every item; cannot sample negatives")
         out = np.empty(count, dtype=np.int64)
         filled = 0
         while filled < count:
             draw = rng.integers(0, self.num_items, size=max(count - filled, 8))
-            for item in draw:
-                if item not in exclude:
-                    out[filled] = item
-                    filled += 1
-                    if filled == count:
-                        break
+            if exclude.size:
+                # vectorized membership: position of each draw in the
+                # sorted positive row; a hit means the row holds that item
+                slots = np.searchsorted(exclude, draw)
+                hit = ((slots < exclude.size)
+                       & (exclude[np.minimum(slots, exclude.size - 1)] == draw))
+                accepted = draw[~hit]
+            else:
+                accepted = draw
+            take = min(accepted.size, count - filled)
+            out[filled:filled + take] = accepted[:take]
+            filled += take
         return out
 
 

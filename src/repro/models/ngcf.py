@@ -92,16 +92,24 @@ class NGCF(Recommender):
         neg = (u * item_table.gather_rows(np.asarray(neg_items, dtype=np.int64))).sum(axis=1)
         return pos, neg
 
-    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+    def _tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Engine-cached propagated embedding tables (inference mode)."""
         def compute():
             with no_grad():
                 user_table, item_table = self.propagate()
             return user_table.data, item_table.data
 
-        user_table, item_table = self.engine.cached("ngcf.tables", compute)
+        return self.engine.cached("ngcf.tables", compute)
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        user_table, item_table = self._tables()
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         return np.sum(user_table[users] * item_table[items], axis=1)
+
+    def serving_embeddings(self) -> tuple[np.ndarray, np.ndarray]:
+        """The concatenated multi-layer tables already used by ``score``."""
+        return self._tables()
 
     def on_step_end(self) -> None:
         self.engine.invalidate()

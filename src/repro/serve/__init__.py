@@ -1,0 +1,32 @@
+"""Batched top-K serving subsystem.
+
+The retrieval path the evaluation protocol never exercised: snapshot the
+multi-order embeddings out of the propagation engine
+(:class:`EmbeddingStore`), score user blocks against the full catalog with
+a blocked matmul and CSR exclusion masks (:class:`TopKRetriever`), and
+front it all with :class:`RecommendationService` —
+``recommend(users, k)``, ``score_candidates``, warm/cold snapshot reload.
+"""
+
+from repro.serve.retriever import (
+    ExclusionMask,
+    MatrixBackend,
+    ScorerBackend,
+    TopKResult,
+    TopKRetriever,
+    backend_for,
+)
+from repro.serve.store import EmbeddingStore, model_version
+from repro.serve.service import RecommendationService
+
+__all__ = [
+    "ExclusionMask",
+    "MatrixBackend",
+    "ScorerBackend",
+    "TopKResult",
+    "TopKRetriever",
+    "backend_for",
+    "EmbeddingStore",
+    "model_version",
+    "RecommendationService",
+]

@@ -1,0 +1,137 @@
+"""The serving facade: snapshot + retriever + exclusions in one object.
+
+``RecommendationService`` is what an application holds: it snapshots the
+model's serving embeddings once (float32 by default), builds the seen-item
+exclusion mask from the training data, and answers ``recommend`` /
+``score_candidates`` requests without touching autograd or re-propagating
+the graph. When the underlying model trains on (engine version bump), the
+service warm-reloads the snapshot transparently on the next request.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.retriever import (
+    ExclusionMask,
+    ScorerBackend,
+    TopKResult,
+    TopKRetriever,
+)
+from repro.serve.store import EmbeddingStore, model_version
+
+
+class RecommendationService:
+    """Batched top-K serving over one recommender.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.models.base.Recommender`. Factored models
+        (GNMR, NGCF) serve through an :class:`EmbeddingStore` snapshot;
+        others through brute-force scoring.
+    train:
+        Training :class:`~repro.data.dataset.InteractionDataset`; provides
+        the seen-item exclusion mask (``None`` disables exclusion).
+    dtype:
+        Snapshot precision (float32 default; ``None`` keeps the model's).
+    k_default:
+        ``recommend`` cutoff when ``k`` is omitted.
+    batch_users:
+        Users per scoring block (peak memory ∝ ``batch_users × catalog``).
+    exclude:
+        ``"target"`` / ``"all"`` / iterable of behavior names — which
+        interactions make an item non-recommendable for a user; ``None``
+        disables exclusion even when ``train`` is given.
+    auto_refresh:
+        Warm-reload the snapshot automatically when the model's engine
+        version moved (default on).
+    """
+
+    def __init__(self, model, train=None, *, dtype="float32",
+                 k_default: int = 10, batch_users: int = 256,
+                 exclude: str | tuple | list | None = "target",
+                 auto_refresh: bool = True):
+        self.model = model
+        self.train = train
+        self.dtype = dtype
+        self.k_default = int(k_default)
+        self.batch_users = int(batch_users)
+        self.exclude_behaviors = exclude
+        self.auto_refresh = auto_refresh
+        self._cold_load()
+
+    # ------------------------------------------------------------------
+    # snapshot lifecycle
+    # ------------------------------------------------------------------
+    def _cold_load(self) -> None:
+        """Rebuild everything: snapshot, exclusion mask, retriever."""
+        self.store = EmbeddingStore.snapshot(self.model, dtype=self.dtype)
+        if self.train is not None and self.exclude_behaviors is not None:
+            self.exclusions = ExclusionMask.from_dataset(
+                self.train, behaviors=self.exclude_behaviors)
+        else:
+            self.exclusions = None
+        backend = (self.store.backend() if self.store is not None
+                   else ScorerBackend(self.model))
+        self.retriever = TopKRetriever(backend, exclude=self.exclusions,
+                                       batch_users=self.batch_users)
+
+    def reload(self, cold: bool = False) -> bool:
+        """Refresh the serving state from the model.
+
+        Warm reload (default) re-snapshots the embedding tables in place,
+        keeping the exclusion mask and retriever wiring; cold reload
+        rebuilds everything (use after swapping the training dataset or
+        when the model gained/lost its factored form). Returns whether
+        serving tables actually changed.
+        """
+        if cold or self.store is None:
+            self._cold_load()
+            return True
+        changed = self.store.refresh(self.model, force=True)
+        self.retriever.backend = self.store.backend()
+        return changed
+
+    def _ensure_fresh(self) -> None:
+        if (self.auto_refresh and self.store is not None
+                and self.store.is_stale(self.model)):
+            self.store.refresh(self.model)
+            self.retriever.backend = self.store.backend()
+
+    @property
+    def snapshot_version(self) -> int | None:
+        """Engine version of the current snapshot (None for brute force)."""
+        if self.store is not None:
+            return self.store.version
+        return model_version(self.model)
+
+    # ------------------------------------------------------------------
+    # serving API
+    # ------------------------------------------------------------------
+    def recommend(self, users, k: int | None = None) -> TopKResult:
+        """Top-K recommendations for one user id or an array of them."""
+        self._ensure_fresh()
+        return self.retriever.retrieve(users, k if k is not None else self.k_default)
+
+    def recommend_all(self, k: int | None = None,
+                      users: np.ndarray | None = None) -> TopKResult:
+        """Recommendations for every user (or a given subset), batched."""
+        if users is None:
+            num_users = (self.store.num_users if self.store is not None
+                         else self.model.num_users)
+            users = np.arange(num_users, dtype=np.int64)
+        return self.recommend(users, k)
+
+    def score_candidates(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Scores for parallel (user, item) arrays — reranking hook.
+
+        Uses the snapshot when available (no propagation), the model's
+        ``score`` otherwise.
+        """
+        self._ensure_fresh()
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if self.store is not None:
+            return self.store.score(users, items)
+        return np.asarray(self.model.score(users, items))

@@ -1,0 +1,136 @@
+"""Versioned snapshots of serving embeddings.
+
+Training mutates model parameters every optimizer step and bumps the
+:class:`~repro.graph.engine.PropagationEngine` version; serving must not
+re-propagate the graph per request. The :class:`EmbeddingStore` snapshots
+the model's serving embeddings (for GNMR the engine-cached multi-order
+propagation, concatenated) into plain numpy matrices at a chosen serving
+dtype, remembers the engine version the snapshot was taken at, and can
+tell when a retrain has made it stale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serve.retriever import MatrixBackend
+
+
+def model_version(model) -> int | None:
+    """The model's propagation-engine version, or ``None`` without one.
+
+    Graph models bump ``engine.version`` whenever parameters change (their
+    ``on_step_end`` calls ``engine.invalidate()``), which makes it the
+    natural staleness key for serving snapshots. Models without an engine
+    have no observable version — their snapshots only refresh explicitly.
+    """
+    engine = getattr(model, "engine", None)
+    if engine is None:
+        return None
+    return int(engine.version)
+
+
+class EmbeddingStore:
+    """A frozen (user_matrix, item_matrix) snapshot keyed by engine version.
+
+    Parameters
+    ----------
+    user_matrix, item_matrix:
+        Serving embedding tables whose inner product reproduces the
+        model's score (see ``Recommender.serving_embeddings``).
+    version:
+        Engine version the snapshot was taken at (``None`` when the source
+        model exposes no version).
+    dtype:
+        Serving precision of the stored tables; float32 by default —
+        ranking is bandwidth-bound and the retriever re-ranks in float64.
+    source:
+        Human-readable provenance label (model name).
+    """
+
+    def __init__(self, user_matrix: np.ndarray, item_matrix: np.ndarray,
+                 version: int | None = None, dtype="float32",
+                 source: str = "unknown"):
+        self.dtype = np.dtype(dtype) if dtype is not None else None
+        self.version = version
+        self.source = source
+        self._set_matrices(user_matrix, item_matrix)
+
+    def _set_matrices(self, user_matrix, item_matrix) -> None:
+        user_matrix = np.asarray(user_matrix)
+        item_matrix = np.asarray(item_matrix)
+        if self.dtype is not None:
+            user_matrix = user_matrix.astype(self.dtype, copy=False)
+            item_matrix = item_matrix.astype(self.dtype, copy=False)
+        self.user_matrix = user_matrix
+        self.item_matrix = item_matrix
+        self._backend: MatrixBackend | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def snapshot(cls, model, dtype="float32") -> "EmbeddingStore | None":
+        """Snapshot a model's serving embeddings; ``None`` if it has none.
+
+        Models without a factored form (``serving_embeddings()`` returning
+        ``None``) cannot be snapshotted — serving falls back to brute-force
+        scoring through the model itself.
+        """
+        provider = getattr(model, "serving_embeddings", None)
+        embeddings = provider() if callable(provider) else None
+        if embeddings is None:
+            return None
+        user_matrix, item_matrix = embeddings
+        return cls(user_matrix, item_matrix, version=model_version(model),
+                   dtype=dtype, source=getattr(model, "name", "unknown"))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return self.user_matrix.shape[0]
+
+    @property
+    def num_items(self) -> int:
+        return self.item_matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.user_matrix.shape[1]
+
+    def backend(self) -> MatrixBackend:
+        """The (cached) blocked-matmul backend over this snapshot."""
+        if self._backend is None:
+            self._backend = MatrixBackend(self.user_matrix, self.item_matrix)
+        return self._backend
+
+    def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Pairwise snapshot scores for parallel (user, item) arrays."""
+        return self.backend().score_pairs(users, items)
+
+    # ------------------------------------------------------------------
+    def is_stale(self, model) -> bool:
+        """Whether the model has trained past this snapshot.
+
+        True when the model's engine version moved beyond the one the
+        snapshot was taken at. Version-less models are never *observably*
+        stale — refresh them explicitly after training.
+        """
+        current = model_version(model)
+        if current is None or self.version is None:
+            return False
+        return current != self.version
+
+    def refresh(self, model, force: bool = False) -> bool:
+        """Re-snapshot from the model if stale (or ``force``d).
+
+        Returns ``True`` when the tables were actually rebuilt.
+        """
+        if not force and not self.is_stale(model):
+            return False
+        embeddings = model.serving_embeddings()
+        if embeddings is None:
+            raise ValueError(
+                f"model {getattr(model, 'name', model)!r} no longer exposes "
+                "serving embeddings")
+        self._set_matrices(*embeddings)
+        self.version = model_version(model)
+        return True

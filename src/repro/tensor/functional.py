@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tensor.tensor import Tensor, concat, stack, where, is_grad_enabled
+from repro.tensor.tensor import Tensor, concat, stack, where
 
 __all__ = [
     "relu",

@@ -7,7 +7,7 @@ with Adam under an exponential learning-rate decay (rate 0.96).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

@@ -1,6 +1,6 @@
 """Utility helpers: checkpointing and timing."""
 
-from repro.utils.checkpoint import save_checkpoint, load_checkpoint
+from repro.utils.checkpoint import save_checkpoint, load_checkpoint, peek_checkpoint
 from repro.utils.timing import Timer
 
-__all__ = ["save_checkpoint", "load_checkpoint", "Timer"]
+__all__ = ["save_checkpoint", "load_checkpoint", "peek_checkpoint", "Timer"]

@@ -42,6 +42,21 @@ def save_checkpoint(model, path: str | Path,
     return path
 
 
+def peek_checkpoint(path: str | Path) -> dict:
+    """Read only the metadata of a checkpoint, without a model.
+
+    Lets tools (the CLI ``recommend`` command) discover how to reconstruct
+    the model — name, dataset, scale, dtype — before building anything.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        if _META_KEY in archive.files:
+            return json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+    return {}
+
+
 def load_checkpoint(model, path: str | Path) -> dict:
     """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
     path = Path(path)

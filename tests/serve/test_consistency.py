@@ -1,0 +1,77 @@
+"""Full-catalog vs sampled evaluation consistency through the serve layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import build_eval_candidates, leave_one_out_split
+from repro.eval import evaluate_full_ranking, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def split(small_taobao):
+    return leave_one_out_split(small_taobao)
+
+
+@pytest.fixture(scope="module")
+def gnmr(split):
+    return GNMR(split.train, GNMRConfig(pretrain=False, seed=0))
+
+
+class TestServingPathParity:
+    def test_serving_and_brute_ranks_identical(self, gnmr, split):
+        """The factored fast path must rank exactly like pairwise scoring."""
+        served = evaluate_full_ranking(gnmr, split.train, split.test_users,
+                                       split.test_items, use_serving=True)
+        brute = evaluate_full_ranking(gnmr, split.train, split.test_users,
+                                      split.test_items, use_serving=False)
+        np.testing.assert_array_equal(served.ranks, brute.ranks)
+
+    def test_batching_invariant(self, gnmr, split):
+        a = evaluate_full_ranking(gnmr, split.train, split.test_users,
+                                  split.test_items, batch_users=3)
+        b = evaluate_full_ranking(gnmr, split.train, split.test_users,
+                                  split.test_items, batch_users=512)
+        np.testing.assert_array_equal(a.ranks, b.ranks)
+
+
+class TestFullVsSampled:
+    def test_oracle_perfect_under_both_protocols(self, split):
+        class Oracle:
+            lookup = dict(zip(split.test_users.tolist(),
+                              split.test_items.tolist()))
+            num_items = split.train.num_items
+
+            def score(self, users, items):
+                return np.array([
+                    10.0 if self.lookup.get(int(u)) == int(i) else 0.0
+                    for u, i in zip(users, items)
+                ])
+
+        oracle = Oracle()
+        candidates = build_eval_candidates(
+            split.train, split.test_users, split.test_items,
+            num_negatives=30, rng=np.random.default_rng(0))
+        sampled = evaluate_model(oracle, candidates)
+        full = evaluate_full_ranking(oracle, split.train,
+                                     split.test_users, split.test_items)
+        assert sampled.hr(1) == full.recall(1) == 1.0
+        assert sampled.ndcg(10) == full.ndcg(10) == 1.0
+
+    def test_full_catalog_is_harder(self, gnmr, split):
+        """Sampled metrics upper-bound full-catalog ones on a real model.
+
+        The full catalog contains every sampled candidate and more, so a
+        positive's full-catalog rank can only be ≥ its sampled rank.
+        """
+        candidates = build_eval_candidates(
+            split.train, split.test_users, split.test_items,
+            num_negatives=30, rng=np.random.default_rng(1))
+        sampled = evaluate_model(gnmr, candidates)
+        full = evaluate_full_ranking(gnmr, split.train,
+                                     split.test_users, split.test_items)
+        assert full.ranks.shape == sampled.ranks.shape
+        assert (full.ranks >= sampled.ranks).all()
+        for n in (1, 5, 10):
+            assert full.recall(n) <= sampled.hr(n)
+            assert full.ndcg(n) <= sampled.ndcg(n)

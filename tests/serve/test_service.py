@@ -1,0 +1,92 @@
+"""Tests of the RecommendationService facade and Recommender.recommend_topk."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import leave_one_out_split
+from repro.models import BiasMF
+from repro.serve import RecommendationService
+
+
+@pytest.fixture(scope="module")
+def split(small_taobao):
+    return leave_one_out_split(small_taobao)
+
+
+@pytest.fixture(scope="module")
+def gnmr(split):
+    return GNMR(split.train, GNMRConfig(pretrain=False, seed=0))
+
+
+class TestRecommend:
+    def test_excludes_training_positives(self, gnmr, split):
+        service = RecommendationService(gnmr, train=split.train)
+        result = service.recommend(np.arange(split.train.num_users), k=10)
+        for row, user in enumerate(result.users):
+            seen = set(split.train.user_target_items(int(user)).tolist())
+            assert not (set(result.items[row].tolist()) & seen)
+
+    def test_matches_legacy_recommend(self, gnmr, split):
+        """The batched path agrees with the per-user brute-force API."""
+        service = RecommendationService(gnmr, train=None, dtype=None,
+                                        exclude=None)
+        result = service.recommend(np.array([0, 5]), k=5)
+        for row, user in enumerate(result.users):
+            legacy = gnmr.recommend(int(user), top_n=5)
+            assert [item for item, _ in legacy] == result.items[row].tolist()
+
+    def test_score_candidates_matches_model(self, gnmr, split):
+        service = RecommendationService(gnmr, train=split.train, dtype=None)
+        users = np.array([2, 4, 6])
+        items = np.array([1, 3, 5])
+        np.testing.assert_allclose(service.score_candidates(users, items),
+                                   gnmr.score(users, items))
+
+    def test_brute_force_fallback(self, split):
+        model = BiasMF(split.train.num_users, split.train.num_items, seed=0)
+        service = RecommendationService(model, train=split.train)
+        assert service.store is None
+        result = service.recommend(np.array([0, 1]), k=4)
+        assert result.items.shape == (2, 4)
+        for row, user in enumerate(result.users):
+            seen = set(split.train.user_target_items(int(user)).tolist())
+            assert not (set(result.items[row].tolist()) & seen)
+
+
+class TestReload:
+    def test_auto_refresh_on_version_bump(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=4))
+        service = RecommendationService(model, train=split.train)
+        v0 = service.snapshot_version
+        before = service.recommend(np.array([0]), k=5).scores.copy()
+        model.user_embeddings.data *= -1.0  # drastic "training" change
+        model.on_step_end()
+        after = service.recommend(np.array([0]), k=5).scores
+        assert service.snapshot_version == model.engine.version != v0
+        assert not np.allclose(before, after)
+
+    def test_manual_warm_and_cold_reload(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=5))
+        service = RecommendationService(model, train=split.train,
+                                        auto_refresh=False)
+        model.user_embeddings.data += 1.0
+        model.on_step_end()
+        assert service.store.is_stale(model)
+        assert service.reload() is True           # warm
+        assert not service.store.is_stale(model)
+        assert service.reload(cold=True) is True  # cold rebuilds everything
+        assert service.retriever.exclude is service.exclusions
+
+
+class TestRecommendTopK:
+    def test_gnmr_api(self, gnmr, split):
+        result = gnmr.recommend_topk(np.arange(6), k=3, train=split.train)
+        assert result.items.shape == (6, 3)
+        assert (result.items >= 0).all()
+
+    def test_baseline_api(self, split):
+        model = BiasMF(split.train.num_users, split.train.num_items, seed=1)
+        result = model.recommend_topk(0, k=3)
+        legacy = model.recommend(0, top_n=3)
+        assert result.items[0].tolist() == [item for item, _ in legacy]

@@ -1,0 +1,73 @@
+"""Tests of the versioned embedding snapshot store."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNMR, GNMRConfig
+from repro.models import BiasMF, NGCF
+from repro.serve import EmbeddingStore, model_version
+
+
+@pytest.fixture(scope="module")
+def gnmr(small_taobao):
+    return GNMR(small_taobao, GNMRConfig(pretrain=False, seed=0))
+
+
+class TestSnapshot:
+    def test_gnmr_snapshot_reproduces_score(self, gnmr):
+        store = EmbeddingStore.snapshot(gnmr, dtype=None)
+        users = np.array([0, 3, 9])
+        items = np.array([5, 2, 7])
+        np.testing.assert_allclose(store.score(users, items),
+                                   gnmr.score(users, items))
+
+    def test_ngcf_snapshot_reproduces_score(self, small_taobao):
+        model = NGCF(small_taobao, seed=0)
+        store = EmbeddingStore.snapshot(model, dtype=None)
+        users = np.array([1, 2])
+        items = np.array([3, 4])
+        np.testing.assert_allclose(store.score(users, items),
+                                   model.score(users, items))
+
+    def test_default_dtype_is_float32(self, gnmr):
+        store = EmbeddingStore.snapshot(gnmr)
+        assert store.user_matrix.dtype == np.float32
+        assert store.item_matrix.dtype == np.float32
+        assert store.num_users == gnmr.num_users
+        assert store.num_items == gnmr.num_items
+
+    def test_unfactored_model_yields_none(self, small_taobao):
+        model = BiasMF(small_taobao.num_users, small_taobao.num_items, seed=0)
+        assert model.serving_embeddings() is None
+        assert EmbeddingStore.snapshot(model) is None
+        assert model_version(model) is None
+
+
+class TestInvalidation:
+    def test_fresh_snapshot_not_stale(self, gnmr):
+        store = EmbeddingStore.snapshot(gnmr)
+        assert store.version == gnmr.engine.version
+        assert not store.is_stale(gnmr)
+
+    def test_engine_bump_marks_stale(self, small_taobao):
+        model = GNMR(small_taobao, GNMRConfig(pretrain=False, seed=1))
+        store = EmbeddingStore.snapshot(model)
+        model.on_step_end()  # what the trainer calls after each step
+        assert store.is_stale(model)
+
+    def test_refresh_catches_up(self, small_taobao):
+        model = GNMR(small_taobao, GNMRConfig(pretrain=False, seed=2))
+        store = EmbeddingStore.snapshot(model)
+        before = store.user_matrix.copy()
+        model.user_embeddings.data += 0.5  # "training step"
+        model.on_step_end()
+        assert store.refresh(model) is True
+        assert store.version == model.engine.version
+        assert not store.is_stale(model)
+        assert not np.allclose(store.user_matrix, before)
+
+    def test_refresh_noop_when_fresh(self, small_taobao):
+        model = GNMR(small_taobao, GNMRConfig(pretrain=False, seed=3))
+        store = EmbeddingStore.snapshot(model)
+        assert store.refresh(model) is False
+        assert store.refresh(model, force=True) is True

@@ -9,7 +9,6 @@ from repro.tensor import SparseAdjacency, Tensor, check_gradients
 
 @pytest.fixture
 def adjacency():
-    rng = np.random.default_rng(3)
     return SparseAdjacency(sp.random(6, 8, density=0.35, random_state=4))
 
 

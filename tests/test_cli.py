@@ -1,5 +1,7 @@
 """Tests of the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -54,3 +56,66 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "GNMR-0" in out
+
+    def test_train_full_catalog_eval(self, capsys):
+        code = main(["train", "--model", "BiasMF", "--dataset", "taobao",
+                     "--users", "25", "--items", "60", "--epochs", "1",
+                     "--eval", "full"])
+        assert code == 0
+        assert "Recall@10" in capsys.readouterr().out
+
+
+class TestRecommend:
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        """A tiny GNMR trained and checkpointed through the CLI."""
+        path = tmp_path_factory.mktemp("ckpt") / "gnmr.npz"
+        code = main(["train", "--model", "GNMR", "--dataset", "taobao",
+                     "--users", "25", "--items", "60", "--epochs", "1",
+                     "--checkpoint", str(path)])
+        assert code == 0
+        return path
+
+    def test_emits_valid_topk_json(self, checkpoint, capsys):
+        capsys.readouterr()  # drop training output
+        code = main(["recommend", "--checkpoint", str(checkpoint),
+                     "--topk", "4", "--user-ids", "0,2,5"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "GNMR"
+        assert payload["backend"] == "matrix"
+        assert payload["k"] == 4
+        recs = payload["recommendations"]
+        assert [entry["user"] for entry in recs] == [0, 2, 5]
+        for entry in recs:
+            assert len(entry["items"]) == 4
+            for rec in entry["items"]:
+                assert 0 <= rec["item"] < payload["num_items"]
+
+    def test_seen_items_excluded(self, checkpoint, capsys):
+        """Recommendations never contain the user's training positives."""
+        from repro.data import leave_one_out_split
+        from repro.experiments import ExperimentScale, dataset_by_name
+
+        capsys.readouterr()
+        code = main(["recommend", "--checkpoint", str(checkpoint),
+                     "--topk", "5"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # rebuild the same deterministic split the command served from
+        scale = ExperimentScale(num_users=25, num_items=60)
+        split = leave_one_out_split(dataset_by_name("taobao", scale))
+        for entry in payload["recommendations"]:
+            seen = set(split.train.user_target_items(entry["user"]).tolist())
+            recommended = {rec["item"] for rec in entry["items"]}
+            assert not (recommended & seen)
+
+    def test_metadata_restores_scale(self, checkpoint, capsys):
+        """No --users/--items flags needed: checkpoint metadata has them."""
+        capsys.readouterr()
+        code = main(["recommend", "--checkpoint", str(checkpoint),
+                     "--topk", "3", "--user-ids", "1"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_users"] == 25
+        assert payload["num_items"] == 60
