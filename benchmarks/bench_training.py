@@ -1,0 +1,193 @@
+"""Training throughput benchmarks: full-graph vs sampled-subgraph steps.
+
+Measures per-step wall time and steps/sec of GNMR pairwise training under
+``TrainConfig.propagation="full"`` (whole-graph SpMM + dense optimizer
+sweep every step) and ``"sampled"`` (fanout-capped subgraph propagation,
+row-sparse embedding gradients, lazy per-row Adam) at two synthetic graph
+scales, and emits ``benchmarks/results/training_throughput.json`` for the
+CI regression gate (``benchmarks/check_regression.py``).
+
+The headline number is ``speedup_sampled_large``: on the large graph the
+sampled step must be ≥ 3× faster than the full-graph step at batch 32 —
+the point of the row-sparse path is that step cost tracks batch size and
+fanout, not graph size. The interaction graphs are built directly from
+random edge lists (the latent-factor generator in ``repro.data.synthetic``
+is O(users × items) and would dominate the benchmark at the large scale).
+
+Run standalone (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_training.py
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+RESULTS_PATH = Path(__file__).parent / "results" / "training_throughput.json"
+
+BATCH_USERS = 32
+PER_USER = 4
+#: per-(node, behavior) neighbor cap; with K=3 behaviors the per-hop
+#: branching factor is 3·FANOUT = 9, so a batch-32 block stays ~25k nodes
+#: regardless of graph size — the sublinearity the gate asserts
+FANOUT = 3
+SCALES = {
+    "small": {"num_users": 6000, "num_items": 9000,
+              "edges_per_user": 24, "steps": 6},
+    "large": {"num_users": 60000, "num_items": 90000,
+              "edges_per_user": 24, "steps": 3},
+}
+
+
+def _reference_matmul_seconds(rounds: int = 5) -> float:
+    """Fixed dense matmul timing — normalizes throughput across machines."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((1024, 256)).astype(np.float32)
+    b = rng.standard_normal((256, 2048)).astype(np.float32)
+    a @ b
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _random_graph_dataset(num_users: int, num_items: int,
+                          edges_per_user: int, seed: int = 0):
+    """A multi-behavior dataset from uniform random edges (O(edges) build)."""
+    from repro.data.dataset import InteractionDataset
+
+    rng = np.random.default_rng(seed)
+    behaviors = ("view", "cart", "purchase")
+    density = {"view": 1.0, "cart": 0.4, "purchase": 0.25}
+    interactions = {}
+    for behavior in behaviors:
+        count = int(num_users * edges_per_user * density[behavior])
+        users = rng.integers(0, num_users, size=count)
+        # every user keeps at least one target edge so batch sampling never
+        # starves at any scale
+        if behavior == "purchase":
+            users = np.concatenate([users, np.arange(num_users)])
+        items = rng.integers(0, num_items, size=users.size)
+        interactions[behavior] = {"users": users, "items": items}
+    return InteractionDataset(
+        name=f"bench-{num_users}x{num_items}", num_users=num_users,
+        num_items=num_items, behavior_names=behaviors,
+        target_behavior="purchase", interactions=interactions)
+
+
+def _measure_steps(model, data, propagation: str, steps: int) -> float:
+    """Best per-step seconds over ``steps`` measured training steps."""
+    from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
+    from repro.nn.losses import l2_regularization, pairwise_hinge_loss
+    from repro.nn.optim import Adam
+
+    rng = np.random.default_rng(0)
+    graph = data.graph()
+    sampler = NegativeSampler(graph, data.target_behavior)
+    eligible = np.flatnonzero(graph.user_degree(data.target_behavior) > 0)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    model.train()
+
+    def one_step():
+        batch = sample_pairwise_batch(graph, data.target_behavior, sampler,
+                                      BATCH_USERS, PER_USER, rng,
+                                      eligible_users=eligible)
+        if propagation == "sampled":
+            pos, neg = model.sampled_batch_scores(
+                batch.users, batch.pos_items, batch.neg_items,
+                fanout=FANOUT, rng=rng)
+            reg = model.l2_batch(batch.users, batch.pos_items,
+                                 batch.neg_items, 1e-4)
+        else:
+            pos, neg = model.batch_scores(batch.users, batch.pos_items,
+                                          batch.neg_items)
+            reg = l2_regularization(model.parameters(), 1e-4)
+        loss = pairwise_hinge_loss(pos, neg) + reg
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        model.on_step_end()
+
+    one_step()  # warm up caches / lazy state
+    best = float("inf")
+    for _ in range(steps):
+        start = time.perf_counter()
+        one_step()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure_scale(name: str, spec: dict) -> dict:
+    from repro.core import GNMR, GNMRConfig
+
+    data = _random_graph_dataset(spec["num_users"], spec["num_items"],
+                                 spec["edges_per_user"])
+    row = {
+        "num_users": spec["num_users"],
+        "num_items": spec["num_items"],
+        "interactions": data.graph().interaction_count(),
+        "measure_steps": spec["steps"],
+    }
+    model = GNMR(data, GNMRConfig(pretrain=False, seed=0, num_layers=2,
+                                  dtype="float32"))
+    for propagation in ("full", "sampled"):
+        seconds = _measure_steps(model, data, propagation, spec["steps"])
+        row[propagation] = {
+            "step_ms": seconds * 1e3,
+            "steps_per_sec": 1.0 / seconds,
+        }
+    row["speedup_sampled"] = (row["full"]["step_ms"]
+                              / row["sampled"]["step_ms"])
+    return row
+
+
+def collect() -> dict:
+    payload = {
+        "workload": {
+            "model": "GNMR",
+            "num_layers": 2,
+            "batch_users": BATCH_USERS,
+            "per_user": PER_USER,
+            "fanout": FANOUT,
+            "dtype": "float32",
+        },
+        "scales": {name: measure_scale(name, spec)
+                   for name, spec in SCALES.items()},
+    }
+    payload["speedup_sampled_large"] = payload["scales"]["large"]["speedup_sampled"]
+    payload["reference_matmul_seconds"] = _reference_matmul_seconds()
+    return payload
+
+
+def save(payload: dict) -> Path:
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    return RESULTS_PATH
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points (explicit runs on dedicated hardware)
+# ----------------------------------------------------------------------
+
+def test_bench_training_throughput(benchmark):
+    from conftest import run_once, save_results
+
+    results = run_once(benchmark, collect)
+    save_results("training_throughput", results)
+    for name, row in results["scales"].items():
+        assert row["full"]["steps_per_sec"] > 0, name
+        assert row["sampled"]["steps_per_sec"] > 0, name
+    # the whole point of the sampled path: step time must not track graph
+    # size — on the large graph it must beat full-graph by a wide margin
+    assert results["speedup_sampled_large"] >= 3.0
+
+
+if __name__ == "__main__":  # CI path: no pytest required
+    payload = collect()
+    path = save(payload)
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {path}")

@@ -15,6 +15,12 @@ Compares a fresh benchmark run against the committed baselines and fails
   fixed-size reference matmul timing, so the comparison uses
   machine-normalized throughput (users/sec × reference seconds) when
   available and raw users/sec otherwise.
+* ``training_throughput.json`` — the sampled-propagation training step
+  must stay ≥ 3× faster than the full-graph step on the large synthetic
+  graph at batch 32 (the row-sparse mini-batch path's reason to exist),
+  and must not lose more than the tolerance versus the committed
+  baseline speedup. The speedup is a same-machine ratio, so no
+  normalization is needed.
 
 Usage (what CI runs after regenerating the fresh payloads)::
 
@@ -22,7 +28,8 @@ Usage (what CI runs after regenerating the fresh payloads)::
         --fresh benchmarks/results --baseline benchmarks/baseline
 
 Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
-``BENCH_FLOAT32_MIN`` (default 1.3), ``BENCH_FUSED_MIN`` (default 0.9).
+``BENCH_FLOAT32_MIN`` (default 1.3), ``BENCH_FUSED_MIN`` (default 0.9),
+``BENCH_SAMPLED_MIN`` (default 3.0).
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from pathlib import Path
 TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "0.20"))
 FLOAT32_MIN = float(os.environ.get("BENCH_FLOAT32_MIN", "1.3"))
 FUSED_MIN = float(os.environ.get("BENCH_FUSED_MIN", "0.9"))
+SAMPLED_MIN = float(os.environ.get("BENCH_SAMPLED_MIN", "3.0"))
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -157,6 +165,30 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
                 "serving-vs-baseline", fresh_value >= floor,
                 f"{fresh_value:,.2f} vs baseline {base_value:,.2f} "
                 f"({fresh_kind}; floor {floor:,.2f}, tol {TOLERANCE:.0%})")
+
+    # -------------------------------------------------------- training
+    training = _load(fresh_dir, "training_throughput")
+    training_base = _load_baseline(baseline_dir, "training_throughput")
+    if training is None:
+        gate.check("training_throughput", False, "fresh payload missing")
+    else:
+        speedup = float(training["speedup_sampled_large"])
+        gate.check("sampled-training-speedup", speedup >= SAMPLED_MIN,
+                   f"{speedup:.2f}x (floor {SAMPLED_MIN}x)")
+        for scale, row in training["scales"].items():
+            for mode in ("full", "sampled"):
+                gate.check(f"training-{scale}-{mode}",
+                           float(row[mode]["steps_per_sec"]) > 0,
+                           f"{row[mode]['steps_per_sec']:.2f} steps/sec "
+                           f"({row[mode]['step_ms']:.1f} ms/step)")
+        if training_base is None:
+            gate.skip("sampled-speedup-vs-baseline", "no committed baseline")
+        else:
+            base = float(training_base["speedup_sampled_large"])
+            floor = base * (1.0 - TOLERANCE)
+            gate.check("sampled-speedup-vs-baseline", speedup >= floor,
+                       f"{speedup:.2f}x vs baseline {base:.2f}x "
+                       f"(floor {floor:.2f}x)")
 
     print(f"\n{gate.checks} checks, {len(gate.failures)} failure(s)"
           + (f": {', '.join(gate.failures)}" if gate.failures else ""))

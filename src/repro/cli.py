@@ -98,9 +98,13 @@ def cmd_train(args) -> int:
     with default_dtype(args.dtype):  # None → ambient default
         model = make_model(args.model, split.train, scale, gnmr_overrides=overrides)
     print(f"training {args.model} on {dataset.name} "
-          f"({model.num_parameters():,} parameters, dtype={args.dtype or 'float64'})")
-    model.fit(split.train, scale.train_config(
-        **({"dtype": args.dtype} if args.dtype else {})))
+          f"({model.num_parameters():,} parameters, dtype={args.dtype or 'float64'}, "
+          f"propagation={args.propagation})")
+    train_overrides = dict({"dtype": args.dtype} if args.dtype else {})
+    train_overrides["propagation"] = args.propagation
+    if args.fanout is not None:
+        train_overrides["fanout"] = args.fanout if args.fanout > 0 else None
+    model.fit(split.train, scale.train_config(**train_overrides))
     if args.eval == "full":
         outcome = evaluate_full_ranking(model, split.train,
                                         split.test_users, split.test_items)
@@ -224,6 +228,16 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["sampled", "full"],
                          help="ranking protocol: sampled 99-negative "
                               "(paper) or full-catalog Recall@K/NDCG@K")
+    p_train.add_argument("--propagation", default="full",
+                         choices=["full", "sampled"],
+                         help="training propagation: full graph every step "
+                              "(bit-reproducible) or fanout-capped sampled "
+                              "subgraphs with row-sparse gradients (step "
+                              "cost scales with the batch)")
+    p_train.add_argument("--fanout", type=int, default=None,
+                         help="neighbors sampled per node per behavior per "
+                              "hop on the sampled path (0 = no cap; "
+                              "default 10)")
     p_rec = sub.add_parser(
         "recommend",
         help="serve top-K recommendations as JSON (repro.serve)")

@@ -145,14 +145,20 @@ class GNMR(Recommender):
             h_item = h_item + self.item_feature_proj(self._item_feature_input)
         return h_user, h_item
 
-    def propagate(self) -> tuple[list[Tensor], list[Tensor]]:
-        """Compute multi-order embeddings [H⁰..H^L] for users and items."""
-        h_user, h_item = self._order0()
+    def _propagate_layers(self, propagator, h_user: Tensor,
+                          h_item: Tensor) -> tuple[list[Tensor], list[Tensor]]:
+        """Run the L-layer η/ξ/ψ stack over any propagation provider.
+
+        ``propagator`` is either the full-graph engine or a sampled
+        :class:`~repro.graph.subgraph.SubgraphBlock` — both expose the same
+        ``propagate_user`` / ``propagate_item`` ``(n, K, d)`` contract, so
+        the full and sampled paths share this one loop by construction.
+        """
         user_layers: list[Tensor] = [h_user]
         item_layers: list[Tensor] = [h_item]
         for layer in self.layers:
-            next_user = layer(self.engine.propagate_user(h_item))
-            next_item = layer(self.engine.propagate_item(h_user))
+            next_user = layer(propagator.propagate_user(h_item))
+            next_item = layer(propagator.propagate_item(h_user))
             if self.config.self_connection:
                 next_user = next_user + h_user
                 next_item = next_item + h_item
@@ -163,6 +169,11 @@ class GNMR(Recommender):
             item_layers.append(next_item)
             h_user, h_item = next_user, next_item
         return user_layers, item_layers
+
+    def propagate(self) -> tuple[list[Tensor], list[Tensor]]:
+        """Compute multi-order embeddings [H⁰..H^L] for users and items."""
+        h_user, h_item = self._order0()
+        return self._propagate_layers(self.engine, h_user, h_item)
 
     def _match(self, user_layers: list[Tensor], item_layers: list[Tensor],
                users: np.ndarray, items: np.ndarray) -> Tensor:
@@ -193,6 +204,65 @@ class GNMR(Recommender):
         pos = self._match(user_layers, item_layers, users, pos_items)
         neg = self._match(user_layers, item_layers, users, neg_items)
         return pos, neg
+
+    # ------------------------------------------------------------------
+    # sampled (mini-batch) propagation
+    # ------------------------------------------------------------------
+    def _order0_rows(self, block) -> tuple[Tensor, Tensor]:
+        """Order-0 embeddings of the block's nodes, gathered row-sparsely.
+
+        ``embedding_rows`` makes the backward pass emit a
+        :class:`~repro.tensor.RowSparseGrad` holding only the block rows,
+        so Adam's per-step work scales with the subgraph, not the tables.
+        """
+        h_user = self.user_embeddings.embedding_rows(block.users)
+        h_item = self.item_embeddings.embedding_rows(block.items)
+        if self.user_feature_proj is not None:
+            h_user = h_user + self.user_feature_proj(
+                Tensor(self._user_feature_input.data[block.users],
+                       dtype=self.engine.dtype))
+            h_item = h_item + self.item_feature_proj(
+                Tensor(self._item_feature_input.data[block.items],
+                       dtype=self.engine.dtype))
+        return h_user, h_item
+
+    def propagate_block(self, block) -> tuple[list[Tensor], list[Tensor]]:
+        """Multi-order embeddings [H⁰..H^L] over a sampled subgraph block."""
+        h_user, h_item = self._order0_rows(block)
+        return self._propagate_layers(block, h_user, h_item)
+
+    def sampled_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                             neg_items: np.ndarray, *,
+                             fanout: int | None = 10,
+                             rng: np.random.Generator | None = None,
+                             ) -> tuple[Tensor, Tensor]:
+        """Batch scores from L-layer propagation over a sampled block only.
+
+        Seeds are the batch users plus their positive/negative items; the
+        engine expands them L hops with per-(node, behavior) fanout caps and
+        the usual layer stack runs on the induced block. Step cost scales
+        with ``batch × fanout^L`` instead of the graph size.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        pos_items = np.asarray(pos_items, dtype=np.int64)
+        neg_items = np.asarray(neg_items, dtype=np.int64)
+        block = self.engine.subgraph(
+            users, np.concatenate([pos_items, neg_items]),
+            hops=self.config.num_layers, fanout=fanout, rng=rng)
+        user_layers, item_layers = self.propagate_block(block)
+        local_users = block.localize_users(users)
+        pos = self._match(user_layers, item_layers, local_users,
+                          block.localize_items(pos_items))
+        neg = self._match(user_layers, item_layers, local_users,
+                          block.localize_items(neg_items))
+        return pos, neg
+
+    def l2_batch(self, users: np.ndarray, pos_items: np.ndarray,
+                 neg_items: np.ndarray, weight: float) -> Tensor:
+        """λ‖Θ_batch‖²: batch embedding rows + the always-touched layers."""
+        return self._embedding_l2_batch(self.user_embeddings,
+                                        self.item_embeddings,
+                                        users, pos_items, neg_items, weight)
 
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Inference scores using engine-cached propagated embeddings."""

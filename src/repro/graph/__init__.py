@@ -8,6 +8,7 @@ every graph recommender builds on.
 
 from repro.graph.interaction_graph import MultiBehaviorGraph, GraphStats
 from repro.graph.engine import PropagationEngine, bipartite_laplacian
+from repro.graph.subgraph import SubgraphBlock, SingleSubgraph, sample_neighbors
 from repro.graph.sampling import (
     NegativeSampler,
     sample_pairwise_batch,
@@ -20,6 +21,9 @@ __all__ = [
     "GraphStats",
     "PropagationEngine",
     "bipartite_laplacian",
+    "SubgraphBlock",
+    "SingleSubgraph",
+    "sample_neighbors",
     "NegativeSampler",
     "sample_pairwise_batch",
     "sample_seed_nodes",

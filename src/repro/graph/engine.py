@@ -35,6 +35,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.interaction_graph import MultiBehaviorGraph
+from repro.graph.subgraph import (
+    SingleSubgraph,
+    SubgraphBlock,
+    sample_bipartite_block,
+    sample_square_block,
+)
 from repro.tensor.sparse import SparseAdjacency
 from repro.tensor.tensor import Tensor, resolve_dtype
 
@@ -229,6 +235,53 @@ class PropagationEngine:
     def propagate(self, h: Tensor) -> Tensor:
         """Single-graph propagation ``A @ H`` of shape ``(N, d)``."""
         return self.adjacency.matmul(h)
+
+    # ------------------------------------------------------------------
+    # sampled-subgraph extraction (mini-batch training)
+    # ------------------------------------------------------------------
+    def subgraph(self, seed_users: np.ndarray, seed_items: np.ndarray,
+                 hops: int = 1, fanout: int | None = 10,
+                 rng: np.random.Generator | None = None) -> SubgraphBlock:
+        """Fanout-capped L-hop sampled block around batch seeds.
+
+        Expands the seed users/items through every behavior's adjacency for
+        ``hops`` rounds, sampling at most ``fanout`` neighbors per (node,
+        behavior) (``None`` → no cap), then extracts the induced stacked-CSR
+        sub-adjacencies with old↔new index maps. Row-normalized engines
+        re-normalize the sampled rows so messages stay means over the
+        included neighborhood.
+
+        The returned :class:`~repro.graph.subgraph.SubgraphBlock` exposes
+        ``propagate_user`` / ``propagate_item`` with the same ``(n, K, d)``
+        contract as the full-graph engine — models run their usual layer
+        stack on top, just at subgraph scale.
+        """
+        if self._user_stack is None:
+            raise RuntimeError("single-graph engine: use subgraph_nodes()")
+        rng = rng or np.random.default_rng()
+        return sample_bipartite_block(
+            [a.matrix for a in self.user_adjacencies],
+            [a.matrix for a in self.item_adjacencies],
+            seed_users, seed_items, hops, fanout, rng,
+            dtype=self.dtype,
+            renormalize=self.normalization == "row",
+        )
+
+    def subgraph_nodes(self, seed_nodes: np.ndarray, hops: int = 1,
+                       fanout: int | None = 10,
+                       rng: np.random.Generator | None = None) -> SingleSubgraph:
+        """Sampled square block of a single-graph engine (NGCF mode).
+
+        ``seed_nodes`` live in the engine's joint index space (users then
+        items for a bipartite Laplacian). Edge values keep their original
+        normalization; self-loops survive slicing, so every sampled node
+        retains its identity message.
+        """
+        if self._single is None:
+            raise RuntimeError("multi-behavior engine: use subgraph()")
+        rng = rng or np.random.default_rng()
+        return sample_square_block(self._single.matrix, seed_nodes,
+                                   hops, fanout, rng, dtype=self.dtype)
 
     # ------------------------------------------------------------------
     # version-keyed propagation cache

@@ -1,0 +1,257 @@
+"""Sampled sub-adjacency blocks for mini-batch graph training.
+
+GNMR's Algorithm 1 trains on mini-batches of seed users, yet full-graph
+propagation pays ``A @ H`` over every node each step. This module holds the
+PinSage/GraphSAGE-style alternative applied to our stacked-CSR substrate:
+fanout-capped L-hop neighbor sampling around the batch seeds, followed by
+extraction of the induced sub-adjacency blocks with old↔new index maps.
+Per-step propagation cost then scales with ``batch × fanout^L`` instead of
+the graph size.
+
+Two block types mirror the two :class:`~repro.graph.engine.PropagationEngine`
+modes:
+
+* :class:`SubgraphBlock` — multi-behavior (GNMR): per-behavior user-side and
+  item-side sub-adjacencies, vstacked into the same fused ``(K·u) × i``
+  stacked-CSR layout the engine uses, so the sampled forward is the same
+  one-SpMM-per-side code path at subgraph scale.
+* :class:`SingleSubgraph` — single-graph (NGCF): one square block over the
+  sampled joint (users+items) node set.
+
+Row-normalized ("mean") adjacencies are re-normalized over the *sampled*
+neighborhood, so each message is the mean of the neighbors actually
+included — the unbiased-as-fanout-grows estimator — and a fanout covering
+every neighbor reproduces the full-graph messages for interior nodes
+exactly. Other normalizations keep their original edge values (a subset
+sum; NGCF's self-loops keep the identity component intact).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.tensor.sparse import SparseAdjacency
+from repro.tensor.tensor import Tensor
+
+
+def sample_neighbors(matrix: sp.csr_matrix, nodes: np.ndarray,
+                     fanout: int | None,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Up-to-``fanout`` neighbors of each node from one CSR adjacency.
+
+    Returns the (non-unique) concatenation of the sampled neighbor ids;
+    ``fanout=None`` keeps every neighbor. Sampling is per node — a hub's
+    neighborhood is capped, a sparse node keeps everything it has — and
+    fully vectorized: every candidate edge gets a random key and a stable
+    ``lexsort`` ranks edges within their row, so selecting ``rank < fanout``
+    draws without replacement across all rows in one pass (no per-node
+    Python loop on the training hot path).
+    """
+    if fanout is not None and fanout < 1:
+        raise ValueError("fanout must be >= 1 (or None for no cap)")
+    indptr, indices = matrix.indptr, matrix.indices
+    starts = indptr[nodes]
+    lengths = indptr[nodes + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=indices.dtype)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    # global CSR position of each candidate edge, frontier-row by row
+    pos = np.repeat(starts - offsets[:-1], lengths) + np.arange(total)
+    candidates = indices[pos]
+    if fanout is None or int(lengths.max()) <= fanout:
+        return candidates
+    row_of_edge = np.repeat(np.arange(nodes.size), lengths)
+    keys = rng.random(total)
+    order = np.lexsort((keys, row_of_edge))  # stable: rows stay contiguous
+    rank = np.arange(total) - np.repeat(offsets[:-1], lengths)
+    return candidates[order][rank < fanout]
+
+
+def _expand(matrices: list[sp.csr_matrix], frontier: np.ndarray,
+            fanout: int | None, rng: np.random.Generator) -> np.ndarray:
+    """Unique sampled neighbors of a frontier across K adjacencies."""
+    if frontier.size == 0:
+        return np.empty(0, dtype=np.int64)
+    gathered = [sample_neighbors(m, frontier, fanout, rng) for m in matrices]
+    merged = np.concatenate(gathered) if gathered else np.empty(0, dtype=np.int64)
+    return np.unique(merged.astype(np.int64, copy=False))
+
+
+def _renormalize_rows(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Rescale each row to sum 1 (mean over the sampled neighborhood)."""
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    inv = np.divide(1.0, sums, out=np.zeros_like(sums), where=sums > 0)
+    return (sp.diags(inv.astype(matrix.dtype)) @ matrix).tocsr()
+
+
+def _slice_block(matrix: sp.csr_matrix, rows: np.ndarray,
+                 cols: np.ndarray, renormalize: bool) -> sp.csr_matrix:
+    """Induced sub-adjacency ``matrix[rows][:, cols]`` as CSR."""
+    block = matrix[rows][:, cols].tocsr()
+    if renormalize:
+        block = _renormalize_rows(block)
+    return block
+
+
+class _IndexMap:
+    """Old→new index lookup over a sorted unique node array."""
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: np.ndarray):
+        self.nodes = nodes  # sorted unique int64
+
+    def __len__(self) -> int:
+        return int(self.nodes.size)
+
+    def localize(self, ids: np.ndarray, kind: str) -> np.ndarray:
+        """Map global ids to positions in the block (raises if absent)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        pos = np.searchsorted(self.nodes, ids)
+        ok = (pos < self.nodes.size) & (self.nodes[np.minimum(pos, self.nodes.size - 1)] == ids)
+        if not np.all(ok):
+            missing = np.unique(ids[~ok])[:5]
+            raise KeyError(f"{kind} ids not in subgraph: {missing.tolist()}")
+        return pos
+
+
+class SubgraphBlock:
+    """A sampled multi-behavior block: stacked sub-CSR + index maps.
+
+    ``users`` / ``items`` are the sorted global ids included in the block;
+    positions in those arrays are the block-local indices. The user/item
+    stacks use the engine's fused layout — behavior ``k`` occupies rows
+    ``[k·u, (k+1)·u)`` of the ``(K·u) × i`` user stack — so
+    :meth:`propagate_user` / :meth:`propagate_item` are drop-in sampled
+    versions of the engine methods.
+    """
+
+    def __init__(self, users: np.ndarray, items: np.ndarray,
+                 user_stack: SparseAdjacency, item_stack: SparseAdjacency,
+                 num_behaviors: int):
+        self._user_map = _IndexMap(users)
+        self._item_map = _IndexMap(items)
+        self.user_stack = user_stack
+        self.item_stack = item_stack
+        self.num_behaviors = int(num_behaviors)
+
+    # ------------------------------------------------------------------
+    @property
+    def users(self) -> np.ndarray:
+        """Global user ids in the block (sorted; position = local index)."""
+        return self._user_map.nodes
+
+    @property
+    def items(self) -> np.ndarray:
+        return self._item_map.nodes
+
+    @property
+    def num_users(self) -> int:
+        return len(self._user_map)
+
+    @property
+    def num_items(self) -> int:
+        return len(self._item_map)
+
+    def localize_users(self, ids: np.ndarray) -> np.ndarray:
+        return self._user_map.localize(ids, "user")
+
+    def localize_items(self, ids: np.ndarray) -> np.ndarray:
+        return self._item_map.localize(ids, "item")
+
+    # ------------------------------------------------------------------
+    def _fused(self, stack: SparseAdjacency, num_targets: int,
+               source: Tensor) -> Tensor:
+        out = stack.matmul(source)                         # (K·n, d)
+        return out.reshape(self.num_behaviors, num_targets,
+                           source.shape[-1]).transpose(1, 0, 2)
+
+    def propagate_user(self, h_item: Tensor) -> Tensor:
+        """Aggregate block item embeddings to block users: ``(u, K, d)``."""
+        return self._fused(self.user_stack, self.num_users, h_item)
+
+    def propagate_item(self, h_user: Tensor) -> Tensor:
+        """Aggregate block user embeddings to block items: ``(i, K, d)``."""
+        return self._fused(self.item_stack, self.num_items, h_user)
+
+
+class SingleSubgraph:
+    """A sampled square block of a single-graph engine (NGCF mode)."""
+
+    def __init__(self, nodes: np.ndarray, adjacency: SparseAdjacency):
+        self._map = _IndexMap(nodes)
+        self.adjacency = adjacency
+
+    @property
+    def nodes(self) -> np.ndarray:
+        return self._map.nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._map)
+
+    def localize(self, ids: np.ndarray) -> np.ndarray:
+        return self._map.localize(ids, "node")
+
+    def propagate(self, h: Tensor) -> Tensor:
+        """Sampled single-graph propagation ``A_sub @ H``."""
+        return self.adjacency.matmul(h)
+
+
+def sample_bipartite_block(user_matrices: list[sp.csr_matrix],
+                           item_matrices: list[sp.csr_matrix],
+                           seed_users: np.ndarray, seed_items: np.ndarray,
+                           hops: int, fanout: int | None,
+                           rng: np.random.Generator,
+                           dtype,
+                           renormalize: bool) -> SubgraphBlock:
+    """L-hop fanout-capped expansion + induced block extraction.
+
+    Each hop expands the user frontier to sampled item neighbors (through
+    every behavior's user-side adjacency) and the item frontier to sampled
+    user neighbors, PinSage-style; the final node sets induce the
+    sub-adjacency blocks.
+    """
+    users = np.unique(np.asarray(seed_users, dtype=np.int64))
+    items = np.unique(np.asarray(seed_items, dtype=np.int64))
+    frontier_u, frontier_i = users, items
+    for _ in range(hops):
+        new_items = _expand(user_matrices, frontier_u, fanout, rng)
+        new_users = _expand(item_matrices, frontier_i, fanout, rng)
+        frontier_i = np.setdiff1d(new_items, items, assume_unique=True)
+        frontier_u = np.setdiff1d(new_users, users, assume_unique=True)
+        if frontier_u.size == 0 and frontier_i.size == 0:
+            break
+        users = np.union1d(users, frontier_u)
+        items = np.union1d(items, frontier_i)
+
+    user_blocks = [_slice_block(m, users, items, renormalize)
+                   for m in user_matrices]
+    item_blocks = [_slice_block(m, items, users, renormalize)
+                   for m in item_matrices]
+    user_stack = SparseAdjacency(sp.vstack(user_blocks, format="csr"),
+                                 dtype=dtype, precompute_transpose=True)
+    item_stack = SparseAdjacency(sp.vstack(item_blocks, format="csr"),
+                                 dtype=dtype, precompute_transpose=True)
+    return SubgraphBlock(users, items, user_stack, item_stack,
+                         num_behaviors=len(user_matrices))
+
+
+def sample_square_block(matrix: sp.csr_matrix, seed_nodes: np.ndarray,
+                        hops: int, fanout: int | None,
+                        rng: np.random.Generator,
+                        dtype) -> SingleSubgraph:
+    """L-hop expansion over one square adjacency (users+items joint space)."""
+    nodes = np.unique(np.asarray(seed_nodes, dtype=np.int64))
+    frontier = nodes
+    for _ in range(hops):
+        neighbors = _expand([matrix], frontier, fanout, rng)
+        frontier = np.setdiff1d(neighbors, nodes, assume_unique=True)
+        if frontier.size == 0:
+            break
+        nodes = np.union1d(nodes, frontier)
+    block = _slice_block(matrix, nodes, nodes, renormalize=False)
+    return SingleSubgraph(nodes, SparseAdjacency(block, dtype=dtype,
+                                                 precompute_transpose=True))

@@ -49,6 +49,58 @@ class Recommender(Module):
         """
         return self.score_tensor(users, pos_items), self.score_tensor(users, neg_items)
 
+    def sampled_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                             neg_items: np.ndarray, *,
+                             fanout: int | None = 10,
+                             rng: np.random.Generator | None = None,
+                             ) -> tuple[Tensor, Tensor]:
+        """Batch scores under sampled (sublinear) propagation.
+
+        Graph models (GNMR, NGCF) override this to propagate over a
+        fanout-capped sampled subgraph and gather embeddings with the
+        row-sparse ``embedding_rows`` op, making the step cost a function
+        of batch size and fanout. The default is the brute-force fallback:
+        non-graph baselines have no propagation to sample — their
+        ``batch_scores`` already touches only batch-sized activations — so
+        the dense path is reused unchanged.
+        """
+        del fanout, rng  # no propagation to sample in the fallback
+        return self.batch_scores(users, pos_items, neg_items)
+
+    def l2_batch(self, users: np.ndarray, pos_items: np.ndarray,
+                 neg_items: np.ndarray, weight: float) -> Tensor:
+        """Batch-local λ‖Θ_batch‖² for the sampled training path.
+
+        Models with embedding tables override this (via
+        :func:`repro.nn.losses.l2_regularization_batch`) to penalize only
+        the rows the step touched, keeping the regularizer's gradient
+        row-sparse. The fallback penalizes every parameter — correct for
+        models whose parameters are all dense-touched each step.
+        """
+        del users, pos_items, neg_items
+        from repro.nn.losses import l2_regularization
+
+        return l2_regularization(self.parameters(), weight)
+
+    def _embedding_l2_batch(self, user_table, item_table,
+                            users: np.ndarray, pos_items: np.ndarray,
+                            neg_items: np.ndarray, weight: float) -> Tensor:
+        """Shared ``l2_batch`` recipe for two-table embedding models.
+
+        Penalizes the batch's user rows and positive/negative item rows via
+        row-sparse gathers, plus every non-table parameter densely (layer
+        weights are touched each step regardless of sampling).
+        """
+        from repro.nn.losses import l2_regularization_batch
+
+        tables = (user_table, item_table)
+        dense = [p for p in self.parameters()
+                 if not any(p is table for table in tables)]
+        return l2_regularization_batch(
+            [(user_table, users),
+             (item_table, np.concatenate([pos_items, neg_items]))],
+            dense, weight)
+
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Inference-mode scores (no autograd graph, dropout disabled)."""
         was_training = self.training

@@ -60,19 +60,30 @@ class NGCF(Recommender):
         return self.engine.adjacency
 
     # ------------------------------------------------------------------
+    def _bi_interaction_layers(self, propagator, ego: Tensor) -> Tensor:
+        """W1/W2 bi-interaction stack, concatenated across layers (§3.3).
+
+        ``propagator`` exposes ``propagate(h)`` — the full-graph engine or a
+        sampled :class:`~repro.graph.subgraph.SingleSubgraph` — so the full
+        and sampled forward passes share this one loop by construction.
+        """
+        from repro.tensor.tensor import concat
+
+        layers = [ego]
+        current = ego
+        for w1, w2 in zip(self.w1, self.w2):
+            side = propagator.propagate(current)
+            messages = w1(side) + w2(side * current)
+            current = messages.leaky_relu(0.2)
+            layers.append(current)
+        return concat(layers, axis=1)
+
     def propagate(self) -> tuple[Tensor, Tensor]:
         """Multi-order embeddings concatenated across layers (NGCF §3.3)."""
         from repro.tensor.tensor import concat
 
         ego = concat([self.user_embeddings, self.item_embeddings], axis=0)
-        layers = [ego]
-        current = ego
-        for w1, w2 in zip(self.w1, self.w2):
-            side = self.engine.propagate(current)
-            messages = w1(side) + w2(side * current)
-            current = messages.leaky_relu(0.2)
-            layers.append(current)
-        all_layers = concat(layers, axis=1)
+        all_layers = self._bi_interaction_layers(self.engine, ego)
         users = all_layers[np.arange(self.num_users)]
         items = all_layers[np.arange(self.num_users, self.num_users + self.num_items)]
         return users, items
@@ -91,6 +102,57 @@ class NGCF(Recommender):
         pos = (u * item_table.gather_rows(np.asarray(pos_items, dtype=np.int64))).sum(axis=1)
         neg = (u * item_table.gather_rows(np.asarray(neg_items, dtype=np.int64))).sum(axis=1)
         return pos, neg
+
+    # ------------------------------------------------------------------
+    # sampled (mini-batch) propagation
+    # ------------------------------------------------------------------
+    def sampled_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                             neg_items: np.ndarray, *,
+                             fanout: int | None = 10,
+                             rng: np.random.Generator | None = None,
+                             ) -> tuple[Tensor, Tensor]:
+        """Batch scores propagated over a sampled square block only.
+
+        Seeds are the batch's user nodes and item nodes in the Laplacian's
+        joint (users+items) index space; the engine expands them
+        ``num_layers`` hops with a fanout cap. The block's local ego table
+        is gathered with row-sparse ``embedding_rows`` — node ids below
+        ``num_users`` from the user table, the rest from the item table —
+        and the usual W1/W2 bi-interaction layers run at block scale.
+        """
+        from repro.tensor.tensor import concat
+
+        users = np.asarray(users, dtype=np.int64)
+        pos_items = np.asarray(pos_items, dtype=np.int64)
+        neg_items = np.asarray(neg_items, dtype=np.int64)
+        item_nodes = self.num_users + np.concatenate([pos_items, neg_items])
+        sub = self.engine.subgraph_nodes(
+            np.concatenate([users, item_nodes]),
+            hops=self.num_layers, fanout=fanout, rng=rng)
+        # sorted joint node ids split cleanly: user rows first, item rows after
+        nodes = sub.nodes
+        user_rows = nodes[nodes < self.num_users]
+        item_rows = nodes[nodes >= self.num_users] - self.num_users
+        pieces = []
+        if user_rows.size:
+            pieces.append(self.user_embeddings.embedding_rows(user_rows))
+        if item_rows.size:
+            pieces.append(self.item_embeddings.embedding_rows(item_rows))
+        ego = pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
+        all_layers = self._bi_interaction_layers(sub, ego)
+        u = all_layers.gather_rows(sub.localize(users))
+        pos = (u * all_layers.gather_rows(
+            sub.localize(self.num_users + pos_items))).sum(axis=1)
+        neg = (u * all_layers.gather_rows(
+            sub.localize(self.num_users + neg_items))).sum(axis=1)
+        return pos, neg
+
+    def l2_batch(self, users: np.ndarray, pos_items: np.ndarray,
+                 neg_items: np.ndarray, weight: float) -> Tensor:
+        """λ‖Θ_batch‖²: batch embedding rows + the W1/W2 layer weights."""
+        return self._embedding_l2_batch(self.user_embeddings,
+                                        self.item_embeddings,
+                                        users, pos_items, neg_items, weight)
 
     def _tables(self) -> tuple[np.ndarray, np.ndarray]:
         """Engine-cached propagated embedding tables (inference mode)."""

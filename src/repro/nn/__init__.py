@@ -15,8 +15,17 @@ from repro.nn.losses import (
     bce_with_logits_loss,
     softmax_cross_entropy,
     l2_regularization,
+    l2_regularization_batch,
 )
-from repro.nn.optim import Optimizer, SGD, Momentum, Adagrad, Adam
+from repro.nn.optim import (
+    Optimizer,
+    SGD,
+    Momentum,
+    Adagrad,
+    Adam,
+    clip_grad_norm,
+    global_grad_norm,
+)
 from repro.nn.schedulers import ExponentialDecay, StepDecay, ConstantSchedule
 
 __all__ = [
@@ -36,11 +45,14 @@ __all__ = [
     "bce_with_logits_loss",
     "softmax_cross_entropy",
     "l2_regularization",
+    "l2_regularization_batch",
     "Optimizer",
     "SGD",
     "Momentum",
     "Adagrad",
     "Adam",
+    "clip_grad_norm",
+    "global_grad_norm",
     "ExponentialDecay",
     "StepDecay",
     "ConstantSchedule",

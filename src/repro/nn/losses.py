@@ -59,3 +59,41 @@ def l2_regularization(parameters: Iterable[Tensor], weight: float) -> Tensor:
     for p in params[1:]:
         total = total + (p * p).sum()
     return total * weight
+
+
+def l2_regularization_batch(embedding_rows: Iterable[tuple[Tensor, np.ndarray]],
+                            dense_parameters: Iterable[Tensor],
+                            weight: float) -> Tensor:
+    """Batch-local λ‖Θ_batch‖²: penalize only the rows a step touched.
+
+    The paper's regularizer is λ‖Θ‖² over the *batch* parameters — for a
+    mini-batch of seed users that is a few hundred embedding rows plus the
+    (small, always-touched) layer weights, not the full tables. Each
+    ``(table, rows)`` pair is gathered with
+    :meth:`~repro.tensor.Tensor.embedding_rows`, so the penalty's gradient
+    reaches the table as a :class:`~repro.tensor.RowSparseGrad` and the
+    whole regularization step stays row-sparse; ``dense_parameters`` (layer
+    weights, biases) are penalized in full as before.
+
+    Duplicate row indices are de-duplicated so a row sampled as both a
+    positive and a negative is penalized once, matching the dense
+    semantics where each parameter entry appears once in ‖Θ‖².
+    """
+    pairs = [(table, np.unique(np.asarray(rows, dtype=np.int64)))
+             for table, rows in embedding_rows]
+    dense = list(dense_parameters)
+    if weight == 0.0 or (not pairs and not dense):
+        return Tensor(0.0)
+    total: Tensor | None = None
+    for table, rows in pairs:
+        if rows.size == 0:
+            continue
+        picked = table.embedding_rows(rows)
+        term = (picked * picked).sum()
+        total = term if total is None else total + term
+    for p in dense:
+        term = (p * p).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * weight

@@ -6,6 +6,15 @@ other optimizers exist for baselines and for completeness of the substrate.
 Optimizer state mirrors each parameter's dtype (``np.zeros_like``), and all
 updates are in-place, so float32 models keep float32 state and updates even
 if a stray float64 gradient reaches them.
+
+Every optimizer also understands :class:`~repro.tensor.RowSparseGrad` — the
+row-sparse gradients emitted by ``Tensor.embedding_rows`` on the sampled
+training path — and applies *lazy* per-row updates: only the rows present
+in the gradient are read or written, so the per-step optimizer cost scales
+with the batch instead of the embedding-table size. Rows a sparse step does
+not touch keep their state frozen (velocity, Adam moments, Adagrad
+accumulators), the standard lazy semantics of sparse optimizers. Dense
+gradients take the exact same code path as before, bit for bit.
 """
 
 from __future__ import annotations
@@ -13,6 +22,52 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.module import Parameter
+from repro.tensor.rowsparse import RowSparseGrad
+
+
+def _row_bias(correction: np.ndarray, values_ndim: int) -> np.ndarray:
+    """Reshape a per-row (r,) factor to broadcast against (r, *row_shape)."""
+    return correction.reshape(correction.shape + (1,) * (values_ndim - 1))
+
+
+def global_grad_norm(parameters: list[Parameter]) -> float:
+    """Global L2 norm over all gradients, sparse-grad aware.
+
+    Accumulates in float64 so float32 models get a stable norm.
+    """
+    total = 0.0
+    for p in parameters:
+        grad = p.grad
+        if grad is None:
+            continue
+        if isinstance(grad, RowSparseGrad):
+            total += grad.sq_norm()
+        else:
+            flat = np.asarray(grad, dtype=np.float64)
+            total += float(np.sum(flat * flat))
+    return float(np.sqrt(total))
+
+
+def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global norm is at most ``max_norm``.
+
+    Row-sparse gradients are scaled in place on their value block only —
+    clipping never densifies. Returns the pre-clip global norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norm = global_grad_norm(parameters)
+    if norm > max_norm:
+        scale = max_norm / norm
+        for p in parameters:
+            grad = p.grad
+            if grad is None:
+                continue
+            if isinstance(grad, RowSparseGrad):
+                grad.scale_(scale)
+            else:
+                p.grad = grad * grad.dtype.type(scale)
+    return norm
 
 
 class Optimizer:
@@ -41,11 +96,19 @@ class SGD(Optimizer):
         for p in self.parameters:
             if p.grad is None:
                 continue
-            p.data -= self.lr * p.grad
+            if isinstance(p.grad, RowSparseGrad):
+                g = p.grad
+                p.data[g.indices] -= self.lr * g.values
+            else:
+                p.data -= self.lr * p.grad
 
 
 class Momentum(Optimizer):
-    """SGD with classical momentum."""
+    """SGD with classical momentum.
+
+    Sparse steps update velocity lazily: rows absent from the gradient keep
+    their velocity untouched (no decay) until the next time they appear.
+    """
 
     def __init__(self, parameters: list[Parameter], lr: float, momentum: float = 0.9):
         super().__init__(parameters, lr)
@@ -56,13 +119,19 @@ class Momentum(Optimizer):
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
-            v *= self.momentum
-            v -= self.lr * p.grad
-            p.data += v
+            if isinstance(p.grad, RowSparseGrad):
+                g = p.grad
+                rows = g.indices
+                v[rows] = self.momentum * v[rows] - self.lr * g.values
+                p.data[rows] += v[rows]
+            else:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.data += v
 
 
 class Adagrad(Optimizer):
-    """Adagrad with accumulated squared gradients."""
+    """Adagrad with accumulated squared gradients (naturally lazy)."""
 
     def __init__(self, parameters: list[Parameter], lr: float, eps: float = 1e-10):
         super().__init__(parameters, lr)
@@ -73,12 +142,27 @@ class Adagrad(Optimizer):
         for p, acc in zip(self.parameters, self._accum):
             if p.grad is None:
                 continue
-            acc += p.grad ** 2
-            p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+            if isinstance(p.grad, RowSparseGrad):
+                g = p.grad
+                rows = g.indices
+                acc[rows] += g.values ** 2
+                p.data[rows] -= self.lr * g.values / (np.sqrt(acc[rows]) + self.eps)
+            else:
+                acc += p.grad ** 2
+                p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
 
 
 class Adam(Optimizer):
-    """Adam with bias correction (Kingma & Ba, 2015)."""
+    """Adam with bias correction (Kingma & Ba, 2015).
+
+    Dense gradients use the global step count ``t`` exactly as the original
+    implementation did. Row-sparse gradients run *lazy Adam*: moments are
+    updated only on the touched rows, and bias correction uses a per-row
+    step count (how many times that row has actually been updated) — the
+    correction a fresh row needs, which the global ``t`` would understate
+    drastically for rarely-sampled rows. Parameters that only ever receive
+    dense gradients never allocate the per-row counters.
+    """
 
     def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
@@ -88,14 +172,42 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
         self._t = 0
+        self._row_steps: list[np.ndarray | None] = [None] * len(self.parameters)
+
+    def _sparse_step(self, i: int, p: Parameter, g: RowSparseGrad) -> None:
+        m, v = self._m[i], self._v[i]
+        counts = self._row_steps[i]
+        if counts is None:
+            counts = np.zeros(p.data.shape[0], dtype=np.int64)
+            # rows already advanced by earlier dense steps keep their global
+            # count so their bias correction stays monotone
+            counts[:] = self._t - 1
+            self._row_steps[i] = counts
+        rows = g.indices
+        counts[rows] += 1
+        values = g.values
+        m[rows] = self.beta1 * m[rows] + (1.0 - self.beta1) * values
+        v[rows] = self.beta2 * v[rows] + (1.0 - self.beta2) * values ** 2
+        t_rows = counts[rows].astype(p.data.dtype)
+        bias1 = _row_bias(1.0 - self.beta1 ** t_rows, values.ndim)
+        bias2 = _row_bias(1.0 - self.beta2 ** t_rows, values.ndim)
+        m_hat = m[rows] / bias1
+        v_hat = v[rows] / bias2
+        p.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1 ** self._t
         bias2 = 1.0 - self.beta2 ** self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        for i, (p, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
             if p.grad is None:
                 continue
+            if isinstance(p.grad, RowSparseGrad):
+                self._sparse_step(i, p, p.grad)
+                continue
+            if self._row_steps[i] is not None:
+                # dense step on a row-tracked parameter advances every row
+                self._row_steps[i] += 1
             m *= self.beta1
             m += (1.0 - self.beta1) * p.grad
             v *= self.beta2

@@ -25,6 +25,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.tensor.rowsparse import RowSparseGrad, add_grads
+
 _GRAD_ENABLED: bool = True
 
 _FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
@@ -148,7 +150,7 @@ class Tensor:
                  dtype=None):
         self.data: np.ndarray = _as_array(data, dtype)
         self.requires_grad: bool = bool(requires_grad) and _GRAD_ENABLED
-        self.grad: np.ndarray | None = None
+        self.grad: np.ndarray | RowSparseGrad | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -243,11 +245,14 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray | RowSparseGrad) -> None:
         if self.grad is None:
-            self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
+            if isinstance(grad, RowSparseGrad):
+                self.grad = grad
+            else:
+                self.grad = grad.copy() if grad.base is not None or grad.flags.writeable is False else grad
         else:
-            self.grad = self.grad + grad
+            self.grad = add_grads(self.grad, grad)
 
     # ------------------------------------------------------------------
     # backward pass
@@ -307,7 +312,7 @@ class Tensor:
                 continue
             key = id(parent)
             if key in grads:
-                grads[key] = grads[key] + contribution
+                grads[key] = add_grads(grads[key], contribution)
             else:
                 grads[key] = contribution
             if parent._backward is None:
@@ -681,6 +686,40 @@ class Tensor:
         def backward(grad: np.ndarray):
             out = np.zeros(in_shape, dtype=in_dtype)
             np.add.at(out, indices.reshape(-1), grad.reshape(-1, *in_shape[1:]))
+            return (out,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def embedding_rows(self, indices: np.ndarray) -> "Tensor":
+        """Row gather whose backward stays row-sparse.
+
+        The training-path sibling of :meth:`gather_rows`: instead of
+        scatter-adding into a zero table of the full ``self.shape``, the
+        backward emits a :class:`~repro.tensor.rowsparse.RowSparseGrad`
+        holding only the unique touched rows — optimizer work then scales
+        with the batch, not the table. ``indices`` must be 1-D; duplicates
+        are fine (they coalesce into one row entry).
+
+        The sparse grad is only emitted when ``self`` is a graph leaf (an
+        embedding table / :class:`~repro.nn.module.Parameter`): interior
+        nodes run arbitrary backward closures that expect dense arrays, so
+        gathers from computed tensors fall back to the dense scatter-add.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError("embedding_rows expects 1-D row indices "
+                             f"(got shape {indices.shape}); use gather_rows "
+                             "for arbitrary index shapes")
+        data = self.data[indices]
+        in_shape = self.shape
+        in_dtype = self.data.dtype
+        emit_sparse = self._backward is None  # leaf table → sparse grad
+
+        def backward(grad: np.ndarray):
+            if emit_sparse:
+                return (RowSparseGrad(indices, grad, in_shape[0]),)
+            out = np.zeros(in_shape, dtype=in_dtype)
+            np.add.at(out, indices, grad)
             return (out,)
 
         return Tensor._make(data, (self,), backward)

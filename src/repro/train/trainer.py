@@ -3,6 +3,16 @@
 Each epoch: sample seed users, draw S positives and S negatives per user,
 score both sides, apply the margin loss of Eq. (7) plus λ‖Θ‖², and update
 with Adam under an exponential learning-rate decay (rate 0.96).
+
+Two propagation modes (``TrainConfig.propagation``):
+
+* ``"full"`` — every step propagates over the whole graph and regularizes
+  every parameter; float64 runs are bit-reproducible with the seed goldens.
+* ``"sampled"`` — graph models score through
+  ``model.sampled_batch_scores`` (fanout-capped L-hop subgraph, row-sparse
+  embedding gradients) and regularize batch-locally via ``model.l2_batch``
+  (λ‖Θ_batch‖²); the optimizer applies lazy per-row updates, so the step
+  cost scales with batch size and fanout instead of graph size.
 """
 
 from __future__ import annotations
@@ -15,7 +25,7 @@ import numpy as np
 from repro.data.dataset import InteractionDataset
 from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
 from repro.nn.losses import bpr_loss, l2_regularization, pairwise_hinge_loss
-from repro.nn.optim import Adam
+from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.schedulers import ExponentialDecay
 from repro.train.callbacks import EarlyStopping, HistoryRecorder
 
@@ -43,6 +53,19 @@ class TrainConfig:
     #: compute precision for the training loop ("float32"/"float64");
     #: ``None`` keeps the ambient tensor default dtype
     dtype: str | None = None
+    #: "full" propagates over the whole graph each step (bit-reproducible
+    #: reference); "sampled" runs the fanout-capped subgraph path with
+    #: row-sparse gradients — step cost scales with the batch, not the graph
+    propagation: str = "full"
+    #: max neighbors sampled per (node, behavior) per hop on the sampled
+    #: path (``None`` → no cap)
+    fanout: int | None = 10
+    #: global-norm gradient clipping threshold (``None`` → no clipping);
+    #: sparse-grad aware — row-sparse grads are scaled without densifying
+    grad_clip: float | None = None
+    #: run ``eval_fn`` every this many epochs (the final epoch always
+    #: evaluates so the history ends with a metric)
+    eval_every: int = 1
 
 
 @dataclass
@@ -69,6 +92,9 @@ class Trainer:
     * ``parameters()`` — trainable parameters,
     * ``batch_scores(users, pos_items, neg_items)`` — differentiable
       (pos_scores, neg_scores) tensors,
+    * ``sampled_batch_scores(...)`` / ``l2_batch(...)`` — the sampled-mode
+      pair (the :class:`~repro.models.base.Recommender` base provides
+      brute-force fallbacks),
     * ``train()`` / ``eval()`` — mode switching,
     * ``on_step_end()`` — optional cache-invalidation hook.
     """
@@ -77,6 +103,13 @@ class Trainer:
                  eval_fn: Callable[[], float] | None = None):
         if config.loss not in _LOSSES:
             raise ValueError(f"unknown loss {config.loss!r}")
+        if config.propagation not in ("full", "sampled"):
+            raise ValueError(f"unknown propagation mode {config.propagation!r} "
+                             "(use 'full' or 'sampled')")
+        if config.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if config.fanout is not None and config.fanout < 1:
+            raise ValueError("fanout must be >= 1 (or None for no cap)")
         self.model = model
         self.data = train_data
         self.config = config
@@ -103,10 +136,11 @@ class Trainer:
                    if cfg.early_stopping_patience else None)
         loss_fn = _LOSSES[cfg.loss]
 
+        sampled = cfg.propagation == "sampled"
         self.model.train()
         for epoch in range(cfg.epochs):
             epoch_loss = 0.0
-            pair_count = 0
+            steps_done = 0
             for _ in range(cfg.steps_per_epoch):
                 batch = sample_pairwise_batch(
                     self._graph, self.data.target_behavior, self._sampler,
@@ -115,23 +149,43 @@ class Trainer:
                 )
                 if len(batch) == 0:
                     continue
-                pos_scores, neg_scores = self.model.batch_scores(
-                    batch.users, batch.pos_items, batch.neg_items,
-                )
+                if sampled:
+                    pos_scores, neg_scores = self.model.sampled_batch_scores(
+                        batch.users, batch.pos_items, batch.neg_items,
+                        fanout=cfg.fanout, rng=self._rng,
+                    )
+                    reg = self.model.l2_batch(
+                        batch.users, batch.pos_items, batch.neg_items,
+                        cfg.l2_weight)
+                else:
+                    pos_scores, neg_scores = self.model.batch_scores(
+                        batch.users, batch.pos_items, batch.neg_items,
+                    )
+                    reg = l2_regularization(self.model.parameters(), cfg.l2_weight)
                 loss = loss_fn(pos_scores, neg_scores, cfg.margin)
-                loss = loss + l2_regularization(self.model.parameters(), cfg.l2_weight)
+                loss = loss + reg
                 optimizer.zero_grad()
                 loss.backward()
+                if cfg.grad_clip is not None:
+                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
                 optimizer.step()
                 if hasattr(self.model, "on_step_end"):
                     self.model.on_step_end()
                 epoch_loss += float(loss.data)
-                pair_count += len(batch)
+                steps_done += 1
             lr = scheduler.step()
-            mean_loss = epoch_loss / max(pair_count, 1)
+            # each step's loss is a sum over its pairs plus one per-step L2
+            # term, so normalize by the number of steps (not pairs): dividing
+            # the mixed sum by pair_count scaled the L2 contribution with the
+            # batch size and made reported losses incomparable across
+            # configurations with different batch shapes
+            mean_loss = epoch_loss / max(steps_done, 1)
 
             metric = None
-            if self.eval_fn is not None:
+            evaluate_now = (self.eval_fn is not None
+                            and ((epoch + 1) % cfg.eval_every == 0
+                                 or epoch == cfg.epochs - 1))
+            if evaluate_now:
                 self.model.eval()
                 metric = float(self.eval_fn())
                 self.model.train()
