@@ -1,18 +1,33 @@
-"""Training throughput benchmarks: full-graph vs sampled-subgraph steps.
+"""Training throughput benchmarks: full vs sampled vs async-pipelined steps.
 
 Measures per-step wall time and steps/sec of GNMR pairwise training under
 ``TrainConfig.propagation="full"`` (whole-graph SpMM + dense optimizer
-sweep every step) and ``"sampled"`` (fanout-capped subgraph propagation,
-row-sparse embedding gradients, lazy per-row Adam) at two synthetic graph
-scales, and emits ``benchmarks/results/training_throughput.json`` for the
-CI regression gate (``benchmarks/check_regression.py``).
+sweep every step), ``"sampled"`` (fanout-capped monolithic subgraph,
+row-sparse embedding gradients, lazy per-row Adam), and ``"async"`` (the
+:mod:`repro.train.pipeline` path: pre-drawn batch stream, per-hop layered
+blocks extracted by a background worker, double-buffered ahead of the
+optimizer) at two synthetic graph scales, and emits
+``benchmarks/results/training_throughput.json`` for the CI regression
+gate (``benchmarks/check_regression.py``).
 
-The headline number is ``speedup_sampled_large``: on the large graph the
-sampled step must be ≥ 3× faster than the full-graph step at batch 32 —
-the point of the row-sparse path is that step cost tracks batch size and
-fanout, not graph size. The interaction graphs are built directly from
-random edge lists (the latent-factor generator in ``repro.data.synthetic``
-is O(users × items) and would dominate the benchmark at the large scale).
+Two headline numbers, both gated:
+
+* ``speedup_sampled_large`` — the sampled step must be ≥ 3× faster than
+  the full-graph step at batch 32 on the large graph (best-of-N per-step
+  time, as always): step cost must track batch size and fanout, not graph
+  size.
+* ``speedup_async_large`` — the async-pipelined step must be ≥ 1.3× the
+  sync sampled step. This compares *mean* per-step time over the measured
+  window for both modes (a best-of comparison could flatter the async
+  path whenever a lucky step overlaps no extraction at all; means charge
+  every mode its full amortized cost). The win is structural: layered
+  blocks compute each propagation order only on the rows the next order
+  needs, and extraction runs on a worker thread while the optimizer is
+  busy.
+
+The interaction graphs are built directly from random edge lists (the
+latent-factor generator in ``repro.data.synthetic`` is O(users × items)
+and would dominate the benchmark at the large scale).
 
 Run standalone (no pytest needed)::
 
@@ -79,8 +94,9 @@ def _random_graph_dataset(num_users: int, num_items: int,
         target_behavior="purchase", interactions=interactions)
 
 
-def _measure_steps(model, data, propagation: str, steps: int) -> float:
-    """Best per-step seconds over ``steps`` measured training steps."""
+def _measure_steps(model, data, propagation: str,
+                   steps: int) -> tuple[float, float]:
+    """(best, mean) per-step seconds over ``steps`` measured steps."""
     from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
     from repro.nn.losses import l2_regularization, pairwise_hinge_loss
     from repro.nn.optim import Adam
@@ -114,11 +130,69 @@ def _measure_steps(model, data, propagation: str, steps: int) -> float:
 
     one_step()  # warm up caches / lazy state
     best = float("inf")
+    total = 0.0
     for _ in range(steps):
         start = time.perf_counter()
         one_step()
-        best = min(best, time.perf_counter() - start)
-    return best
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+    return best, total / steps
+
+
+def _measure_async_steps(model, data, steps: int) -> tuple[float, float]:
+    """(best, mean) per-step seconds through the double-buffered pipeline.
+
+    Mirrors the trainer's ``propagation="async"`` loop: batches come from
+    the pipeline's pre-drawn stream, a background worker extracts per-hop
+    layered blocks, the training thread scores via ``block_batch_scores``.
+    """
+    from repro.nn.losses import pairwise_hinge_loss
+    from repro.nn.optim import Adam
+    from repro.train.pipeline import SampledBatchPipeline
+    from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
+
+    graph = data.graph()
+    sampler = NegativeSampler(graph, data.target_behavior)
+    eligible = np.flatnonzero(graph.user_degree(data.target_behavior) > 0)
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    model.train()
+
+    def draw(rng):
+        return sample_pairwise_batch(graph, data.target_behavior, sampler,
+                                     BATCH_USERS, PER_USER, rng,
+                                     eligible_users=eligible)
+
+    def extract(batch, rng):
+        return model.extract_block(batch.users, batch.pos_items,
+                                   batch.neg_items, fanout=FANOUT, rng=rng)
+
+    def one_step(prepared):
+        batch = prepared.batch
+        pos, neg = model.block_batch_scores(
+            batch.users, batch.pos_items, batch.neg_items, prepared.block)
+        reg = model.l2_batch(batch.users, batch.pos_items,
+                             batch.neg_items, 1e-4)
+        loss = pairwise_hinge_loss(pos, neg) + reg
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        model.on_step_end()
+
+    best = float("inf")
+    total = 0.0
+    with SampledBatchPipeline(draw, extract, total_steps=steps + 1,
+                              seed=0, workers=1, depth=2) as pipeline:
+        one_step(next(pipeline))  # warm up caches / prime the buffers
+        for _ in range(steps):
+            # time the blocking wait for the prefetched block too — stalls
+            # waiting on the worker are real per-step cost
+            start = time.perf_counter()
+            one_step(next(pipeline))
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            total += elapsed
+    return best, total / steps
 
 
 def measure_scale(name: str, spec: dict) -> dict:
@@ -134,14 +208,28 @@ def measure_scale(name: str, spec: dict) -> dict:
     }
     model = GNMR(data, GNMRConfig(pretrain=False, seed=0, num_layers=2,
                                   dtype="float32"))
-    for propagation in ("full", "sampled"):
-        seconds = _measure_steps(model, data, propagation, spec["steps"])
-        row[propagation] = {
-            "step_ms": seconds * 1e3,
-            "steps_per_sec": 1.0 / seconds,
+    def mode_row(best: float, mean: float) -> dict:
+        # step_ms stays best-of (noise-robust, baseline-comparable for the
+        # sampled-vs-full gate); steps_per_sec reports the SUSTAINABLE
+        # rate from the mean — a best-of rate would claim throughput a
+        # mode only hits on its luckiest step
+        return {
+            "step_ms": best * 1e3,
+            "mean_step_ms": mean * 1e3,
+            "steps_per_sec": 1.0 / mean,
         }
+
+    for propagation in ("full", "sampled"):
+        best, mean = _measure_steps(model, data, propagation, spec["steps"])
+        row[propagation] = mode_row(best, mean)
+    best, mean = _measure_async_steps(model, data, spec["steps"])
+    row["async"] = mode_row(best, mean)
     row["speedup_sampled"] = (row["full"]["step_ms"]
                               / row["sampled"]["step_ms"])
+    # async vs sync sampled compares MEANS: every mode pays its amortized
+    # extraction cost, nothing hides between best-of windows
+    row["speedup_async"] = (row["sampled"]["mean_step_ms"]
+                            / row["async"]["mean_step_ms"])
     return row
 
 
@@ -159,6 +247,7 @@ def collect() -> dict:
                    for name, spec in SCALES.items()},
     }
     payload["speedup_sampled_large"] = payload["scales"]["large"]["speedup_sampled"]
+    payload["speedup_async_large"] = payload["scales"]["large"]["speedup_async"]
     payload["reference_matmul_seconds"] = _reference_matmul_seconds()
     return payload
 
@@ -181,9 +270,12 @@ def test_bench_training_throughput(benchmark):
     for name, row in results["scales"].items():
         assert row["full"]["steps_per_sec"] > 0, name
         assert row["sampled"]["steps_per_sec"] > 0, name
+        assert row["async"]["steps_per_sec"] > 0, name
     # the whole point of the sampled path: step time must not track graph
     # size — on the large graph it must beat full-graph by a wide margin
     assert results["speedup_sampled_large"] >= 3.0
+    # and the async pipeline must beat sync sampled steps on mean step time
+    assert results["speedup_async_large"] >= 1.3
 
 
 if __name__ == "__main__":  # CI path: no pytest required

@@ -18,9 +18,11 @@ Compares a fresh benchmark run against the committed baselines and fails
 * ``training_throughput.json`` — the sampled-propagation training step
   must stay ≥ 3× faster than the full-graph step on the large synthetic
   graph at batch 32 (the row-sparse mini-batch path's reason to exist),
-  and must not lose more than the tolerance versus the committed
-  baseline speedup. The speedup is a same-machine ratio, so no
-  normalization is needed.
+  the async-pipelined step must stay ≥ 1.3× faster than the sync sampled
+  step on mean per-step time (layered per-hop blocks + double-buffered
+  background extraction — see ``repro.train.pipeline``), and neither
+  ratio may lose more than the tolerance versus the committed baseline.
+  Both speedups are same-machine ratios, so no normalization is needed.
 
 Usage (what CI runs after regenerating the fresh payloads)::
 
@@ -29,7 +31,7 @@ Usage (what CI runs after regenerating the fresh payloads)::
 
 Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
 ``BENCH_FLOAT32_MIN`` (default 1.3), ``BENCH_FUSED_MIN`` (default 0.9),
-``BENCH_SAMPLED_MIN`` (default 3.0).
+``BENCH_SAMPLED_MIN`` (default 3.0), ``BENCH_ASYNC_MIN`` (default 1.3).
 """
 
 from __future__ import annotations
@@ -44,6 +46,7 @@ TOLERANCE = float(os.environ.get("BENCH_TOLERANCE", "0.20"))
 FLOAT32_MIN = float(os.environ.get("BENCH_FLOAT32_MIN", "1.3"))
 FUSED_MIN = float(os.environ.get("BENCH_FUSED_MIN", "0.9"))
 SAMPLED_MIN = float(os.environ.get("BENCH_SAMPLED_MIN", "3.0"))
+ASYNC_MIN = float(os.environ.get("BENCH_ASYNC_MIN", "1.3"))
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -175,8 +178,21 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
         speedup = float(training["speedup_sampled_large"])
         gate.check("sampled-training-speedup", speedup >= SAMPLED_MIN,
                    f"{speedup:.2f}x (floor {SAMPLED_MIN}x)")
+        async_speedup = training.get("speedup_async_large")
+        if async_speedup is None:
+            gate.check("async-training-speedup", False,
+                       "payload has no speedup_async_large")
+        else:
+            async_speedup = float(async_speedup)
+            gate.check("async-training-speedup", async_speedup >= ASYNC_MIN,
+                       f"{async_speedup:.2f}x vs sync sampled "
+                       f"(floor {ASYNC_MIN}x, mean step time)")
         for scale, row in training["scales"].items():
-            for mode in ("full", "sampled"):
+            for mode in ("full", "sampled", "async"):
+                if mode not in row:
+                    gate.check(f"training-{scale}-{mode}", False,
+                               "mode missing from payload")
+                    continue
                 gate.check(f"training-{scale}-{mode}",
                            float(row[mode]["steps_per_sec"]) > 0,
                            f"{row[mode]['steps_per_sec']:.2f} steps/sec "
@@ -189,6 +205,15 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
             gate.check("sampled-speedup-vs-baseline", speedup >= floor,
                        f"{speedup:.2f}x vs baseline {base:.2f}x "
                        f"(floor {floor:.2f}x)")
+        base_async = (training_base or {}).get("speedup_async_large")
+        if base_async is None:
+            # committed baselines from before the async pipeline landed
+            gate.skip("async-speedup-vs-baseline", "no committed baseline")
+        elif async_speedup is not None:
+            floor = float(base_async) * (1.0 - TOLERANCE)
+            gate.check("async-speedup-vs-baseline", async_speedup >= floor,
+                       f"{async_speedup:.2f}x vs baseline "
+                       f"{float(base_async):.2f}x (floor {floor:.2f}x)")
 
     print(f"\n{gate.checks} checks, {len(gate.failures)} failure(s)"
           + (f": {', '.join(gate.failures)}" if gate.failures else ""))

@@ -31,6 +31,22 @@ from repro.experiments import (
 )
 
 
+#: distinguishes "--fanout not given" from "--fanout 0" (which parses to
+#: None = no cap and must still reach TrainConfig). Must not be a string:
+#: argparse runs string defaults through the ``type`` callable.
+_FANOUT_UNSET = object()
+
+
+def _fanout_arg(text: str):
+    """argparse type for ``--fanout``: '10', '0' (no cap), or '10,5'."""
+    from repro.graph.subgraph import parse_fanout
+
+    try:
+        return parse_fanout(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _scale_from_args(args) -> ExperimentScale:
     overrides = {}
     if args.users:
@@ -102,8 +118,10 @@ def cmd_train(args) -> int:
           f"propagation={args.propagation})")
     train_overrides = dict({"dtype": args.dtype} if args.dtype else {})
     train_overrides["propagation"] = args.propagation
-    if args.fanout is not None:
-        train_overrides["fanout"] = args.fanout if args.fanout > 0 else None
+    if args.fanout is not _FANOUT_UNSET:
+        train_overrides["fanout"] = args.fanout
+    if args.workers is not None:
+        train_overrides["workers"] = args.workers
     model.fit(split.train, scale.train_config(**train_overrides))
     if args.eval == "full":
         outcome = evaluate_full_ranking(model, split.train,
@@ -229,15 +247,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="ranking protocol: sampled 99-negative "
                               "(paper) or full-catalog Recall@K/NDCG@K")
     p_train.add_argument("--propagation", default="full",
-                         choices=["full", "sampled"],
+                         choices=["full", "sampled", "async"],
                          help="training propagation: full graph every step "
-                              "(bit-reproducible) or fanout-capped sampled "
+                              "(bit-reproducible), fanout-capped sampled "
                               "subgraphs with row-sparse gradients (step "
-                              "cost scales with the batch)")
-    p_train.add_argument("--fanout", type=int, default=None,
+                              "cost scales with the batch), or the async "
+                              "double-buffered pipeline over per-hop "
+                              "layered blocks (fastest)")
+    p_train.add_argument("--fanout", type=_fanout_arg, default=_FANOUT_UNSET,
                          help="neighbors sampled per node per behavior per "
-                              "hop on the sampled path (0 = no cap; "
+                              "hop on the sampled/async paths: one int for "
+                              "every hop, or a comma-separated per-hop "
+                              "schedule like '10,5' (0 = no cap; "
                               "default 10)")
+    p_train.add_argument("--workers", type=int, default=None,
+                         help="background block-extraction threads for "
+                              "--propagation async (0 = inline; default 1)")
     p_rec = sub.add_parser(
         "recommend",
         help="serve top-K recommendations as JSON (repro.serve)")

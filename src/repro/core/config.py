@@ -45,6 +45,15 @@ class GNMRConfig:
         Initialize node embeddings with the autoencoder scheme of §III-A.
     pretrain_epochs, pretrain_lr:
         Autoencoder pre-training schedule.
+    fanout:
+        The model's neighbor-sampling schedule for the sampled/async
+        training paths: an ``int`` applied at every hop, ``None`` for no
+        cap, or a per-hop schedule such as ``(10, 5)`` (GraphSAGE-style —
+        first hop away from the seeds first). Applies whenever the caller
+        doesn't pass a fanout explicitly — including trainer runs, since
+        :class:`~repro.train.TrainConfig` defaults to ``fanout="model"``
+        (defer to this knob); an explicit ``TrainConfig.fanout`` wins for
+        that run.
     graph_behaviors:
         Behavior types whose edges participate in message passing; ``None``
         means all of the dataset's behaviors. Lets Table IV's "w/o like"
@@ -74,6 +83,7 @@ class GNMRConfig:
     use_message_attention: bool = True
     use_gated_aggregation: bool = True
     layer_combination: str = "sum"
+    fanout: int | tuple[int | None, ...] | None = 10
     pretrain: bool = True
     pretrain_epochs: int = 30
     pretrain_lr: float = 1e-2
@@ -99,6 +109,14 @@ class GNMRConfig:
             raise ValueError("layer_combination must be 'sum' or 'mean'")
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError("dropout must be in [0, 1)")
+        from repro.graph.subgraph import resolve_fanout, validate_fanout
+
+        validate_fanout(self.fanout)
+        if isinstance(self.fanout, (list, tuple)):
+            # both knobs live here, so a schedule/num_layers mismatch can
+            # fail at construction instead of mid-training (async mode
+            # would otherwise surface it from a background worker)
+            resolve_fanout(self.fanout, self.num_layers)
 
     def variant(self, **overrides) -> "GNMRConfig":
         """Copy with some fields replaced (used heavily by the ablations)."""

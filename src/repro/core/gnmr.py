@@ -28,6 +28,9 @@ from repro.nn.layers import Dropout
 from repro.nn.module import ModuleList, Parameter
 from repro.tensor import Tensor, default_dtype, no_grad
 
+#: sentinel meaning "use ``config.fanout``" — ``None`` already means "no cap"
+_CONFIG_FANOUT = object()
+
 
 class GNMR(Recommender):
     """Graph Neural Multi-Behavior Enhanced Recommendation.
@@ -145,23 +148,27 @@ class GNMR(Recommender):
             h_item = h_item + self.item_feature_proj(self._item_feature_input)
         return h_user, h_item
 
-    def _propagate_layers(self, propagator, h_user: Tensor,
-                          h_item: Tensor) -> tuple[list[Tensor], list[Tensor]]:
-        """Run the L-layer η/ξ/ψ stack over any propagation provider.
+    def _run_layer_stack(self, h_user: Tensor, h_item: Tensor,
+                         propagate_user, propagate_item,
+                         restrict_user, restrict_item,
+                         ) -> tuple[list[Tensor], list[Tensor]]:
+        """The one L-layer η/ξ/ψ loop behind every propagation mode.
 
-        ``propagator`` is either the full-graph engine or a sampled
-        :class:`~repro.graph.subgraph.SubgraphBlock` — both expose the same
-        ``propagate_user`` / ``propagate_item`` ``(n, K, d)`` contract, so
-        the full and sampled paths share this one loop by construction.
+        ``propagate_*(level, h)`` produces the level's ``(n, K, d)``
+        message stack; ``restrict_*(level, h)`` maps the previous level's
+        tensor onto the rows the next level keeps (identity for full-graph
+        and monolithic blocks, a row gather for shrinking layered blocks).
+        Full, sampled, and async paths share this loop by construction —
+        change the layer recipe here and every mode follows.
         """
         user_layers: list[Tensor] = [h_user]
         item_layers: list[Tensor] = [h_item]
-        for layer in self.layers:
-            next_user = layer(propagator.propagate_user(h_item))
-            next_item = layer(propagator.propagate_item(h_user))
+        for level, layer in enumerate(self.layers):
+            next_user = layer(propagate_user(level, h_item))
+            next_item = layer(propagate_item(level, h_user))
             if self.config.self_connection:
-                next_user = next_user + h_user
-                next_item = next_item + h_item
+                next_user = next_user + restrict_user(level, h_user)
+                next_item = next_item + restrict_item(level, h_item)
             if self.dropout is not None:
                 next_user = self.dropout(next_user)
                 next_item = self.dropout(next_item)
@@ -169,6 +176,22 @@ class GNMR(Recommender):
             item_layers.append(next_item)
             h_user, h_item = next_user, next_item
         return user_layers, item_layers
+
+    def _propagate_layers(self, propagator, h_user: Tensor,
+                          h_item: Tensor) -> tuple[list[Tensor], list[Tensor]]:
+        """Layer stack over a level-uniform propagation provider.
+
+        ``propagator`` is either the full-graph engine or a sampled
+        :class:`~repro.graph.subgraph.SubgraphBlock` — both expose the same
+        ``propagate_user`` / ``propagate_item`` ``(n, K, d)`` contract at
+        every level, with no row restriction between levels.
+        """
+        return self._run_layer_stack(
+            h_user, h_item,
+            lambda level, h: propagator.propagate_user(h),
+            lambda level, h: propagator.propagate_item(h),
+            lambda level, h: h,
+            lambda level, h: h)
 
     def propagate(self) -> tuple[list[Tensor], list[Tensor]]:
         """Compute multi-order embeddings [H⁰..H^L] for users and items."""
@@ -233,16 +256,19 @@ class GNMR(Recommender):
 
     def sampled_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
                              neg_items: np.ndarray, *,
-                             fanout: int | None = 10,
+                             fanout=_CONFIG_FANOUT,
                              rng: np.random.Generator | None = None,
                              ) -> tuple[Tensor, Tensor]:
         """Batch scores from L-layer propagation over a sampled block only.
 
         Seeds are the batch users plus their positive/negative items; the
-        engine expands them L hops with per-(node, behavior) fanout caps and
-        the usual layer stack runs on the induced block. Step cost scales
-        with ``batch × fanout^L`` instead of the graph size.
+        engine expands them L hops with per-(node, behavior) fanout caps
+        (scalar or per-hop schedule; defaults to ``config.fanout``) and the
+        usual layer stack runs on the induced block. Step cost scales with
+        ``batch × fanout^L`` instead of the graph size.
         """
+        if fanout is _CONFIG_FANOUT:
+            fanout = self.config.fanout
         users = np.asarray(users, dtype=np.int64)
         pos_items = np.asarray(pos_items, dtype=np.int64)
         neg_items = np.asarray(neg_items, dtype=np.int64)
@@ -256,6 +282,79 @@ class GNMR(Recommender):
         neg = self._match(user_layers, item_layers, local_users,
                           block.localize_items(neg_items))
         return pos, neg
+
+    # ------------------------------------------------------------------
+    # layered (async-pipeline) propagation
+    # ------------------------------------------------------------------
+    def extract_block(self, users: np.ndarray, pos_items: np.ndarray,
+                      neg_items: np.ndarray, *, fanout=_CONFIG_FANOUT,
+                      rng: np.random.Generator | None = None):
+        """Prefetchable per-hop :class:`~repro.graph.LayeredBlock`.
+
+        Pure graph work — no parameters are read — so the training pipeline
+        runs it on a background worker while the optimizer applies the
+        previous step. :meth:`block_batch_scores` consumes the result.
+        """
+        if fanout is _CONFIG_FANOUT:
+            fanout = self.config.fanout
+        users = np.asarray(users, dtype=np.int64)
+        seed_items = np.concatenate([
+            np.asarray(pos_items, dtype=np.int64),
+            np.asarray(neg_items, dtype=np.int64)])
+        return self.engine.layered_subgraph(
+            users, seed_items, hops=self.config.num_layers,
+            fanout=fanout, rng=rng)
+
+    def propagate_layered(self, block) -> tuple[list[Tensor], list[Tensor]]:
+        """Seed-focused multi-order embeddings over per-hop blocks.
+
+        Level-``l`` tensors live on ``block.user_levels[l]`` /
+        ``block.item_levels[l]`` — each layer computes only the rows the
+        next one aggregates, down to the seeds, instead of re-evaluating
+        the whole sampled node set at every order.
+        """
+        h_user = self.user_embeddings.embedding_rows(block.user_levels[0])
+        h_item = self.item_embeddings.embedding_rows(block.item_levels[0])
+        if self.user_feature_proj is not None:
+            h_user = h_user + self.user_feature_proj(
+                Tensor(self._user_feature_input.data[block.user_levels[0]],
+                       dtype=self.engine.dtype))
+            h_item = h_item + self.item_feature_proj(
+                Tensor(self._item_feature_input.data[block.item_levels[0]],
+                       dtype=self.engine.dtype))
+        return self._run_layer_stack(
+            h_user, h_item,
+            lambda level, h: block.user_hops[level].propagate(h),
+            lambda level, h: block.item_hops[level].propagate(h),
+            lambda level, h: h.gather_rows(block.restrict_users(level + 1)),
+            lambda level, h: h.gather_rows(block.restrict_items(level + 1)))
+
+    def block_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                           neg_items: np.ndarray, block,
+                           ) -> tuple[Tensor, Tensor]:
+        """Batch scores over a prefetched layered block.
+
+        The multi-order matching gathers each order's seed rows from its
+        own (shrinking) level tensor; level ``L`` already holds seeds only.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        pos_items = np.asarray(pos_items, dtype=np.int64)
+        neg_items = np.asarray(neg_items, dtype=np.int64)
+        user_layers, item_layers = self.propagate_layered(block)
+
+        def match(items: np.ndarray) -> Tensor:
+            total: Tensor | None = None
+            for level, (h_user, h_item) in enumerate(zip(user_layers,
+                                                         item_layers)):
+                picked_u = h_user.gather_rows(block.localize_users(level, users))
+                picked_v = h_item.gather_rows(block.localize_items(level, items))
+                dot = (picked_u * picked_v).sum(axis=1)
+                total = dot if total is None else total + dot
+            if self.config.layer_combination == "mean":
+                total = total * (1.0 / (self.config.num_layers + 1))
+            return total
+
+        return match(pos_items), match(neg_items)
 
     def l2_batch(self, users: np.ndarray, pos_items: np.ndarray,
                  neg_items: np.ndarray, weight: float) -> Tensor:

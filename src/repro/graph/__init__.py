@@ -8,7 +8,15 @@ every graph recommender builds on.
 
 from repro.graph.interaction_graph import MultiBehaviorGraph, GraphStats
 from repro.graph.engine import PropagationEngine, bipartite_laplacian
-from repro.graph.subgraph import SubgraphBlock, SingleSubgraph, sample_neighbors
+from repro.graph.layered import LayeredBlock, LayeredNodeBlocks
+from repro.graph.subgraph import (
+    SubgraphBlock,
+    SingleSubgraph,
+    sample_neighbors,
+    resolve_fanout,
+    parse_fanout,
+    validate_fanout,
+)
 from repro.graph.sampling import (
     NegativeSampler,
     sample_pairwise_batch,
@@ -23,7 +31,12 @@ __all__ = [
     "bipartite_laplacian",
     "SubgraphBlock",
     "SingleSubgraph",
+    "LayeredBlock",
+    "LayeredNodeBlocks",
     "sample_neighbors",
+    "resolve_fanout",
+    "parse_fanout",
+    "validate_fanout",
     "NegativeSampler",
     "sample_pairwise_batch",
     "sample_seed_nodes",

@@ -35,6 +35,12 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.interaction_graph import MultiBehaviorGraph
+from repro.graph.layered import (
+    LayeredBlock,
+    LayeredNodeBlocks,
+    sample_layered_bipartite,
+    sample_layered_square,
+)
 from repro.graph.subgraph import (
     SingleSubgraph,
     SubgraphBlock,
@@ -94,6 +100,18 @@ class PropagationEngine:
     dtype:
         Compute dtype of the adjacency values; ``None`` → the module default
         (:func:`repro.tensor.get_default_dtype`).
+
+    >>> import numpy as np
+    >>> from repro.data import taobao_like
+    >>> graph = taobao_like(num_users=20, num_items=30, seed=0).graph()
+    >>> engine = PropagationEngine(graph, normalization="row")
+    >>> h_item = np.ones((30, 4))
+    >>> engine.propagate_user(h_item).shape     # (users, K behaviors, d)
+    (20, 4, 4)
+    >>> engine.version
+    0
+    >>> engine.invalidate(); engine.version     # after a training step
+    1
     """
 
     def __init__(self, graph: MultiBehaviorGraph,
@@ -240,16 +258,17 @@ class PropagationEngine:
     # sampled-subgraph extraction (mini-batch training)
     # ------------------------------------------------------------------
     def subgraph(self, seed_users: np.ndarray, seed_items: np.ndarray,
-                 hops: int = 1, fanout: int | None = 10,
+                 hops: int = 1, fanout=10,
                  rng: np.random.Generator | None = None) -> SubgraphBlock:
         """Fanout-capped L-hop sampled block around batch seeds.
 
         Expands the seed users/items through every behavior's adjacency for
         ``hops`` rounds, sampling at most ``fanout`` neighbors per (node,
-        behavior) (``None`` → no cap), then extracts the induced stacked-CSR
-        sub-adjacencies with old↔new index maps. Row-normalized engines
-        re-normalize the sampled rows so messages stay means over the
-        included neighborhood.
+        behavior) (``None`` → no cap; a ``[10, 5]`` sequence schedules the
+        cap per hop — see :func:`~repro.graph.subgraph.resolve_fanout`),
+        then extracts the induced stacked-CSR sub-adjacencies with old↔new
+        index maps. Row-normalized engines re-normalize the sampled rows so
+        messages stay means over the included neighborhood.
 
         The returned :class:`~repro.graph.subgraph.SubgraphBlock` exposes
         ``propagate_user`` / ``propagate_item`` with the same ``(n, K, d)``
@@ -268,20 +287,56 @@ class PropagationEngine:
         )
 
     def subgraph_nodes(self, seed_nodes: np.ndarray, hops: int = 1,
-                       fanout: int | None = 10,
+                       fanout=10,
                        rng: np.random.Generator | None = None) -> SingleSubgraph:
         """Sampled square block of a single-graph engine (NGCF mode).
 
         ``seed_nodes`` live in the engine's joint index space (users then
-        items for a bipartite Laplacian). Edge values keep their original
-        normalization; self-loops survive slicing, so every sampled node
-        retains its identity message.
+        items for a bipartite Laplacian). ``fanout`` accepts a scalar or a
+        per-hop schedule. Edge values keep their original normalization;
+        self-loops survive slicing, so every sampled node retains its
+        identity message.
         """
         if self._single is None:
             raise RuntimeError("multi-behavior engine: use subgraph()")
         rng = rng or np.random.default_rng()
         return sample_square_block(self._single.matrix, seed_nodes,
                                    hops, fanout, rng, dtype=self.dtype)
+
+    def layered_subgraph(self, seed_users: np.ndarray,
+                         seed_items: np.ndarray, hops: int = 1, fanout=10,
+                         rng: np.random.Generator | None = None) -> LayeredBlock:
+        """Per-hop shrinking blocks for the async training pipeline.
+
+        Where :meth:`subgraph` returns one monolithic block that every
+        layer propagates over in full, this returns a
+        :class:`~repro.graph.layered.LayeredBlock`: one bipartite slice per
+        hop, each aggregating only the rows the next layer actually needs,
+        down to the seeds at the top. Same sampling semantics (induced
+        slices, row re-normalization, per-hop ``fanout`` schedules); at
+        ``fanout=None`` the seed outputs are bit-exact full-graph values.
+        """
+        if self._user_stack is None:
+            raise RuntimeError("single-graph engine: use layered_subgraph_nodes()")
+        rng = rng or np.random.default_rng()
+        return sample_layered_bipartite(
+            [a.matrix for a in self.user_adjacencies],
+            [a.matrix for a in self.item_adjacencies],
+            seed_users, seed_items, hops, fanout, rng,
+            dtype=self.dtype,
+            renormalize=self.normalization == "row",
+        )
+
+    def layered_subgraph_nodes(self, seed_nodes: np.ndarray, hops: int = 1,
+                               fanout=10,
+                               rng: np.random.Generator | None = None,
+                               ) -> LayeredNodeBlocks:
+        """Layered counterpart of :meth:`subgraph_nodes` (single-graph)."""
+        if self._single is None:
+            raise RuntimeError("multi-behavior engine: use layered_subgraph()")
+        rng = rng or np.random.default_rng()
+        return sample_layered_square(self._single.matrix, seed_nodes,
+                                     hops, fanout, rng, dtype=self.dtype)
 
     # ------------------------------------------------------------------
     # version-keyed propagation cache

@@ -35,6 +35,88 @@ from repro.tensor.sparse import SparseAdjacency
 from repro.tensor.tensor import Tensor
 
 
+def _check_fanout_entry(value, position: str) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValueError(f"fanout {position} must be an int or None, "
+                         f"got {value!r}")
+    if value < 1:
+        raise ValueError(f"fanout {position} must be >= 1 (or None for no "
+                         f"cap), got {value}")
+
+
+def validate_fanout(fanout) -> None:
+    """Validate a fanout spec without knowing the hop count.
+
+    Accepts a scalar (``int`` ≥ 1), ``None`` (no cap), or a sequence of
+    those (a per-hop schedule). Raises ``ValueError`` for anything else —
+    including an empty schedule, which would silently sample nothing.
+    """
+    if isinstance(fanout, (list, tuple)):
+        if len(fanout) == 0:
+            raise ValueError("fanout schedule must not be empty")
+        for i, entry in enumerate(fanout):
+            _check_fanout_entry(entry, f"schedule entry {i}")
+        return
+    _check_fanout_entry(fanout, "value")
+
+
+def resolve_fanout(fanout, hops: int) -> list[int | None]:
+    """Normalize a fanout spec into a per-hop schedule of length ``hops``.
+
+    A scalar (or ``None``) broadcasts to every hop; a sequence must match
+    ``hops`` exactly — a silent truncation or cycle would make ``fanout=[10,
+    5]`` mean different things at different model depths.
+
+    >>> resolve_fanout(10, 2)
+    [10, 10]
+    >>> resolve_fanout(None, 3)
+    [None, None, None]
+    >>> resolve_fanout([10, 5], 2)
+    [10, 5]
+    >>> resolve_fanout([10, 5], 3)
+    Traceback (most recent call last):
+        ...
+    ValueError: fanout schedule has 2 entries but the expansion runs 3 hops
+    """
+    validate_fanout(fanout)
+    if isinstance(fanout, (list, tuple)):
+        if len(fanout) != hops:
+            raise ValueError(f"fanout schedule has {len(fanout)} entries but "
+                             f"the expansion runs {hops} hops")
+        return [None if f is None else int(f) for f in fanout]
+    return [fanout] * hops
+
+
+def parse_fanout(text: str) -> int | None | tuple[int | None, ...]:
+    """Parse the CLI ``--fanout`` string into a fanout spec.
+
+    ``"10"`` → 10, ``"0"`` → None (no cap), ``"10,5"`` → ``(10, 5)`` with
+    per-hop semantics (``0`` entries mean "no cap on that hop").
+
+    >>> parse_fanout("10"), parse_fanout("0"), parse_fanout("10,5")
+    (10, None, (10, 5))
+    >>> parse_fanout("10,0,5")
+    (10, None, 5)
+    """
+    parts = [p.strip() for p in text.split(",")]
+    if any(not p for p in parts):
+        raise ValueError(f"invalid --fanout value {text!r}: empty entry")
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(f"invalid --fanout value {text!r}: entries must be "
+                         "integers") from None
+    if any(v < 0 for v in values):
+        raise ValueError(f"invalid --fanout value {text!r}: entries must be "
+                         ">= 0 (0 means no cap)")
+    resolved = [None if v == 0 else v for v in values]
+    if len(resolved) == 1:
+        return resolved[0]
+    return tuple(resolved)
+
+
 def sample_neighbors(matrix: sp.csr_matrix, nodes: np.ndarray,
                      fanout: int | None,
                      rng: np.random.Generator) -> np.ndarray:
@@ -126,6 +208,23 @@ class SubgraphBlock:
     ``[k·u, (k+1)·u)`` of the ``(K·u) × i`` user stack — so
     :meth:`propagate_user` / :meth:`propagate_item` are drop-in sampled
     versions of the engine methods.
+
+    >>> import numpy as np
+    >>> from repro.data import taobao_like
+    >>> from repro.graph import PropagationEngine
+    >>> graph = taobao_like(num_users=20, num_items=30, seed=0).graph()
+    >>> engine = PropagationEngine(graph, normalization="row")
+    >>> block = engine.subgraph(np.array([0, 1]), np.array([2, 3]),
+    ...                         hops=1, fanout=None)
+    >>> block.num_behaviors
+    4
+    >>> bool(np.isin([0, 1], block.users).all())   # seeds always included
+    True
+    >>> block.localize_users(np.array([0, 1])).tolist()
+    [0, 1]
+    >>> h_item = np.ones((block.num_items, 8))
+    >>> block.propagate_user(h_item).shape == (block.num_users, 4, 8)
+    True
     """
 
     def __init__(self, users: np.ndarray, items: np.ndarray,
@@ -203,7 +302,7 @@ class SingleSubgraph:
 def sample_bipartite_block(user_matrices: list[sp.csr_matrix],
                            item_matrices: list[sp.csr_matrix],
                            seed_users: np.ndarray, seed_items: np.ndarray,
-                           hops: int, fanout: int | None,
+                           hops: int, fanout,
                            rng: np.random.Generator,
                            dtype,
                            renormalize: bool) -> SubgraphBlock:
@@ -212,14 +311,17 @@ def sample_bipartite_block(user_matrices: list[sp.csr_matrix],
     Each hop expands the user frontier to sampled item neighbors (through
     every behavior's user-side adjacency) and the item frontier to sampled
     user neighbors, PinSage-style; the final node sets induce the
-    sub-adjacency blocks.
+    sub-adjacency blocks. ``fanout`` may be a scalar cap or a per-hop
+    schedule (see :func:`resolve_fanout`); ``schedule[0]`` governs the
+    first expansion away from the seeds.
     """
+    schedule = resolve_fanout(fanout, hops)
     users = np.unique(np.asarray(seed_users, dtype=np.int64))
     items = np.unique(np.asarray(seed_items, dtype=np.int64))
     frontier_u, frontier_i = users, items
-    for _ in range(hops):
-        new_items = _expand(user_matrices, frontier_u, fanout, rng)
-        new_users = _expand(item_matrices, frontier_i, fanout, rng)
+    for hop_fanout in schedule:
+        new_items = _expand(user_matrices, frontier_u, hop_fanout, rng)
+        new_users = _expand(item_matrices, frontier_i, hop_fanout, rng)
         frontier_i = np.setdiff1d(new_items, items, assume_unique=True)
         frontier_u = np.setdiff1d(new_users, users, assume_unique=True)
         if frontier_u.size == 0 and frontier_i.size == 0:
@@ -240,14 +342,19 @@ def sample_bipartite_block(user_matrices: list[sp.csr_matrix],
 
 
 def sample_square_block(matrix: sp.csr_matrix, seed_nodes: np.ndarray,
-                        hops: int, fanout: int | None,
+                        hops: int, fanout,
                         rng: np.random.Generator,
                         dtype) -> SingleSubgraph:
-    """L-hop expansion over one square adjacency (users+items joint space)."""
+    """L-hop expansion over one square adjacency (users+items joint space).
+
+    ``fanout`` accepts the same scalar-or-schedule forms as
+    :func:`sample_bipartite_block`.
+    """
+    schedule = resolve_fanout(fanout, hops)
     nodes = np.unique(np.asarray(seed_nodes, dtype=np.int64))
     frontier = nodes
-    for _ in range(hops):
-        neighbors = _expand([matrix], frontier, fanout, rng)
+    for hop_fanout in schedule:
+        neighbors = _expand([matrix], frontier, hop_fanout, rng)
         frontier = np.setdiff1d(neighbors, nodes, assume_unique=True)
         if frontier.size == 0:
             break

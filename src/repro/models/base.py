@@ -67,6 +67,37 @@ class Recommender(Module):
         del fanout, rng  # no propagation to sample in the fallback
         return self.batch_scores(users, pos_items, neg_items)
 
+    def extract_block(self, users: np.ndarray, pos_items: np.ndarray,
+                      neg_items: np.ndarray, *, fanout=10,
+                      rng: np.random.Generator | None = None):
+        """Parameter-free sampled-propagation block for one batch.
+
+        The async training pipeline (:mod:`repro.train.pipeline`) calls
+        this on a background worker — extraction reads only the graph
+        structure and the rng, never the parameters, so it can run while
+        the optimizer is still applying the previous step. Graph models
+        return a layered block consumed by :meth:`block_batch_scores`;
+        the default returns ``None`` — non-graph models have nothing to
+        prefetch beyond the batch itself.
+        """
+        del users, pos_items, neg_items, fanout, rng
+        return None
+
+    def block_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                           neg_items: np.ndarray, block,
+                           ) -> tuple[Tensor, Tensor]:
+        """Score one batch over a block prefetched by :meth:`extract_block`.
+
+        ``block=None`` (the non-graph fallback) routes to
+        :meth:`sampled_batch_scores`, which for embedding-table baselines
+        gathers with the row-sparse path.
+        """
+        if block is not None:
+            raise NotImplementedError(
+                f"{type(self).__name__} returned a block from extract_block "
+                "but does not implement block_batch_scores")
+        return self.sampled_batch_scores(users, pos_items, neg_items)
+
     def l2_batch(self, users: np.ndarray, pos_items: np.ndarray,
                  neg_items: np.ndarray, weight: float) -> Tensor:
         """Batch-local λ‖Θ_batch‖² for the sampled training path.
@@ -82,24 +113,28 @@ class Recommender(Module):
 
         return l2_regularization(self.parameters(), weight)
 
-    def _embedding_l2_batch(self, user_table, item_table,
-                            users: np.ndarray, pos_items: np.ndarray,
-                            neg_items: np.ndarray, weight: float) -> Tensor:
-        """Shared ``l2_batch`` recipe for two-table embedding models.
+    def _tables_l2_batch(self, entries: list[tuple[Tensor, np.ndarray]],
+                         weight: float) -> Tensor:
+        """Batch-local L2 over ``(table, touched_rows)`` pairs.
 
-        Penalizes the batch's user rows and positive/negative item rows via
-        row-sparse gathers, plus every non-table parameter densely (layer
-        weights are touched each step regardless of sampling).
+        Penalizes each table's touched rows via row-sparse gathers, plus
+        every parameter *not* listed as a table densely (layer weights are
+        touched each step regardless of sampling).
         """
         from repro.nn.losses import l2_regularization_batch
 
-        tables = (user_table, item_table)
+        tables = [table for table, _ in entries]
         dense = [p for p in self.parameters()
                  if not any(p is table for table in tables)]
-        return l2_regularization_batch(
+        return l2_regularization_batch(entries, dense, weight)
+
+    def _embedding_l2_batch(self, user_table, item_table,
+                            users: np.ndarray, pos_items: np.ndarray,
+                            neg_items: np.ndarray, weight: float) -> Tensor:
+        """Shared ``l2_batch`` recipe for two-table embedding models."""
+        return self._tables_l2_batch(
             [(user_table, users),
-             (item_table, np.concatenate([pos_items, neg_items]))],
-            dense, weight)
+             (item_table, np.concatenate([pos_items, neg_items]))], weight)
 
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Inference-mode scores (no autograd graph, dropout disabled)."""

@@ -2,7 +2,10 @@
 
 Matrix factorization with user/item bias terms:
 ``score(u, i) = μ + b_u + b_i + p_u · q_i``, trained on the target behavior
-with the shared pairwise objective.
+with the shared pairwise objective. In sampled/async training mode every
+table — factors *and* the 1-D bias vectors — is gathered with the
+row-sparse ``embedding_rows`` op, so the optimizer touches only the batch
+rows instead of sweeping the full tables each step.
 """
 
 from __future__ import annotations
@@ -42,3 +45,45 @@ class BiasMF(Recommender):
                 + self.user_bias.gather_rows(users)
                 + self.item_bias.gather_rows(items)
                 + self.global_bias.gather_rows(np.zeros_like(users)))
+
+    # ------------------------------------------------------------------
+    # sampled (row-sparse) training path
+    # ------------------------------------------------------------------
+    def _sparse_scores(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        """``score_tensor`` with row-sparse gathers (1-D bias rows too)."""
+        p = self.user_factors.embedding_rows(users)
+        q = self.item_factors.embedding_rows(items)
+        interaction = (p * q).sum(axis=1)
+        return (interaction
+                + self.user_bias.embedding_rows(users)
+                + self.item_bias.embedding_rows(items)
+                + self.global_bias.gather_rows(np.zeros_like(users)))
+
+    def sampled_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                             neg_items: np.ndarray, *,
+                             fanout=10,
+                             rng: np.random.Generator | None = None,
+                             ) -> tuple[Tensor, Tensor]:
+        """Batch scores whose backward stays row-sparse on all four tables.
+
+        No propagation to sample (``fanout``/``rng`` are unused); the point
+        of overriding the fallback is that gradients reach ``P``/``Q`` and
+        the bias vectors as ``RowSparseGrad``s, so sampled-mode optimizer
+        work scales with the batch instead of the user/item counts.
+        """
+        del fanout, rng
+        users = np.asarray(users, dtype=np.int64)
+        pos_items = np.asarray(pos_items, dtype=np.int64)
+        neg_items = np.asarray(neg_items, dtype=np.int64)
+        return (self._sparse_scores(users, pos_items),
+                self._sparse_scores(users, neg_items))
+
+    def l2_batch(self, users: np.ndarray, pos_items: np.ndarray,
+                 neg_items: np.ndarray, weight: float) -> Tensor:
+        """λ‖Θ_batch‖² over the touched rows of all four tables + μ."""
+        items = np.concatenate([np.asarray(pos_items, dtype=np.int64),
+                                np.asarray(neg_items, dtype=np.int64)])
+        users = np.asarray(users, dtype=np.int64)
+        return self._tables_l2_batch(
+            [(self.user_factors, users), (self.item_factors, items),
+             (self.user_bias, users), (self.item_bias, items)], weight)

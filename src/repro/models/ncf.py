@@ -7,6 +7,11 @@ Three variants as evaluated in the paper's Table II:
 * ``NCF-M`` (MLP) — multi-layer perceptron over the concatenated
   embeddings;
 * ``NCF-N`` (NeuMF) — fusion of a GMF branch and an MLP branch.
+
+All three override ``sampled_batch_scores`` to gather their embedding
+tables with the row-sparse ``Embedding.rows`` lookup — same forward
+values as the dense path, but the backward emits ``RowSparseGrad``s so
+sampled-mode optimizer work scales with the batch, not the tables.
 """
 
 from __future__ import annotations
@@ -17,6 +22,12 @@ from repro.models.base import Recommender
 from repro.nn.layers import Embedding, MLP, Linear
 from repro.tensor import Tensor
 from repro.tensor.tensor import concat
+
+
+def _batch_arrays(users, pos_items, neg_items):
+    return (np.asarray(users, dtype=np.int64),
+            np.asarray(pos_items, dtype=np.int64),
+            np.asarray(neg_items, dtype=np.int64))
 
 
 class NCFGMF(Recommender):
@@ -32,10 +43,26 @@ class NCFGMF(Recommender):
         self.item_embeddings = Embedding(num_items, embedding_dim, rng=rng)
         self.output = Linear(embedding_dim, 1, rng=rng)
 
-    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
-        p = self.user_embeddings(users)
-        q = self.item_embeddings(items)
+    def _combine(self, p: Tensor, q: Tensor) -> Tensor:
         return self.output(p * q).squeeze(-1)
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self._combine(self.user_embeddings(users),
+                             self.item_embeddings(items))
+
+    def sampled_batch_scores(self, users, pos_items, neg_items, *,
+                             fanout=10, rng=None) -> tuple[Tensor, Tensor]:
+        """Row-sparse-gathered batch scores (no propagation to sample)."""
+        del fanout, rng
+        users, pos_items, neg_items = _batch_arrays(users, pos_items, neg_items)
+        p = self.user_embeddings.rows(users)
+        return (self._combine(p, self.item_embeddings.rows(pos_items)),
+                self._combine(p, self.item_embeddings.rows(neg_items)))
+
+    def l2_batch(self, users, pos_items, neg_items, weight: float) -> Tensor:
+        return self._embedding_l2_batch(
+            self.user_embeddings.weight, self.item_embeddings.weight,
+            users, pos_items, neg_items, weight)
 
 
 class NCFMLP(Recommender):
@@ -51,10 +78,26 @@ class NCFMLP(Recommender):
         self.item_embeddings = Embedding(num_items, embedding_dim, rng=rng)
         self.mlp = MLP([2 * embedding_dim, *hidden_sizes, 1], rng=rng)
 
-    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
-        p = self.user_embeddings(users)
-        q = self.item_embeddings(items)
+    def _combine(self, p: Tensor, q: Tensor) -> Tensor:
         return self.mlp(concat([p, q], axis=-1)).squeeze(-1)
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self._combine(self.user_embeddings(users),
+                             self.item_embeddings(items))
+
+    def sampled_batch_scores(self, users, pos_items, neg_items, *,
+                             fanout=10, rng=None) -> tuple[Tensor, Tensor]:
+        """Row-sparse-gathered batch scores (no propagation to sample)."""
+        del fanout, rng
+        users, pos_items, neg_items = _batch_arrays(users, pos_items, neg_items)
+        p = self.user_embeddings.rows(users)
+        return (self._combine(p, self.item_embeddings.rows(pos_items)),
+                self._combine(p, self.item_embeddings.rows(neg_items)))
+
+    def l2_batch(self, users, pos_items, neg_items, weight: float) -> Tensor:
+        return self._embedding_l2_batch(
+            self.user_embeddings.weight, self.item_embeddings.weight,
+            users, pos_items, neg_items, weight)
 
 
 class NeuMF(Recommender):
@@ -73,7 +116,34 @@ class NeuMF(Recommender):
         self.mlp = MLP([2 * embedding_dim, *hidden_sizes], out_activation="relu", rng=rng)
         self.output = Linear(embedding_dim + hidden_sizes[-1], 1, rng=rng)
 
-    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
-        gmf_vector = self.gmf_user(users) * self.gmf_item(items)
-        mlp_vector = self.mlp(concat([self.mlp_user(users), self.mlp_item(items)], axis=-1))
+    def _combine(self, gmf_u: Tensor, gmf_i: Tensor,
+                 mlp_u: Tensor, mlp_i: Tensor) -> Tensor:
+        gmf_vector = gmf_u * gmf_i
+        mlp_vector = self.mlp(concat([mlp_u, mlp_i], axis=-1))
         return self.output(concat([gmf_vector, mlp_vector], axis=-1)).squeeze(-1)
+
+    def score_tensor(self, users: np.ndarray, items: np.ndarray) -> Tensor:
+        return self._combine(self.gmf_user(users), self.gmf_item(items),
+                             self.mlp_user(users), self.mlp_item(items))
+
+    def sampled_batch_scores(self, users, pos_items, neg_items, *,
+                             fanout=10, rng=None) -> tuple[Tensor, Tensor]:
+        """Row-sparse gathers across all four embedding tables."""
+        del fanout, rng
+        users, pos_items, neg_items = _batch_arrays(users, pos_items, neg_items)
+        gmf_u = self.gmf_user.rows(users)
+        mlp_u = self.mlp_user.rows(users)
+
+        def score(items: np.ndarray) -> Tensor:
+            return self._combine(gmf_u, self.gmf_item.rows(items),
+                                 mlp_u, self.mlp_item.rows(items))
+
+        return score(pos_items), score(neg_items)
+
+    def l2_batch(self, users, pos_items, neg_items, weight: float) -> Tensor:
+        users, pos_items, neg_items = _batch_arrays(users, pos_items, neg_items)
+        items = np.concatenate([pos_items, neg_items])
+        return self._tables_l2_batch(
+            [(self.gmf_user.weight, users), (self.mlp_user.weight, users),
+             (self.gmf_item.weight, items), (self.mlp_item.weight, items)],
+            weight)

@@ -60,22 +60,37 @@ class NGCF(Recommender):
         return self.engine.adjacency
 
     # ------------------------------------------------------------------
+    def _bi_interaction_stack(self, ego: Tensor, propagate,
+                              restrict) -> list[Tensor]:
+        """The one W1/W2 bi-interaction loop behind every propagation mode.
+
+        ``propagate(level, h)`` produces the level's aggregated messages;
+        ``restrict(level, h)`` maps the previous level's tensor onto the
+        rows the next level keeps (identity for full-graph and monolithic
+        blocks, a row gather for shrinking layered blocks). Full, sampled,
+        and async paths share this loop by construction.
+        """
+        layers = [ego]
+        current = ego
+        for level, (w1, w2) in enumerate(zip(self.w1, self.w2)):
+            side = propagate(level, current)
+            messages = w1(side) + w2(side * restrict(level, current))
+            current = messages.leaky_relu(0.2)
+            layers.append(current)
+        return layers
+
     def _bi_interaction_layers(self, propagator, ego: Tensor) -> Tensor:
         """W1/W2 bi-interaction stack, concatenated across layers (§3.3).
 
         ``propagator`` exposes ``propagate(h)`` — the full-graph engine or a
-        sampled :class:`~repro.graph.subgraph.SingleSubgraph` — so the full
-        and sampled forward passes share this one loop by construction.
+        sampled :class:`~repro.graph.subgraph.SingleSubgraph` — with no row
+        restriction between levels.
         """
         from repro.tensor.tensor import concat
 
-        layers = [ego]
-        current = ego
-        for w1, w2 in zip(self.w1, self.w2):
-            side = propagator.propagate(current)
-            messages = w1(side) + w2(side * current)
-            current = messages.leaky_relu(0.2)
-            layers.append(current)
+        layers = self._bi_interaction_stack(
+            ego, lambda level, h: propagator.propagate(h),
+            lambda level, h: h)
         return concat(layers, axis=1)
 
     def propagate(self) -> tuple[Tensor, Tensor]:
@@ -120,8 +135,6 @@ class NGCF(Recommender):
         ``num_users`` from the user table, the rest from the item table —
         and the usual W1/W2 bi-interaction layers run at block scale.
         """
-        from repro.tensor.tensor import concat
-
         users = np.asarray(users, dtype=np.int64)
         pos_items = np.asarray(pos_items, dtype=np.int64)
         neg_items = np.asarray(neg_items, dtype=np.int64)
@@ -130,15 +143,7 @@ class NGCF(Recommender):
             np.concatenate([users, item_nodes]),
             hops=self.num_layers, fanout=fanout, rng=rng)
         # sorted joint node ids split cleanly: user rows first, item rows after
-        nodes = sub.nodes
-        user_rows = nodes[nodes < self.num_users]
-        item_rows = nodes[nodes >= self.num_users] - self.num_users
-        pieces = []
-        if user_rows.size:
-            pieces.append(self.user_embeddings.embedding_rows(user_rows))
-        if item_rows.size:
-            pieces.append(self.item_embeddings.embedding_rows(item_rows))
-        ego = pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
+        ego = self._ego_rows(sub.nodes)
         all_layers = self._bi_interaction_layers(sub, ego)
         u = all_layers.gather_rows(sub.localize(users))
         pos = (u * all_layers.gather_rows(
@@ -153,6 +158,62 @@ class NGCF(Recommender):
         return self._embedding_l2_batch(self.user_embeddings,
                                         self.item_embeddings,
                                         users, pos_items, neg_items, weight)
+
+    # ------------------------------------------------------------------
+    # layered (async-pipeline) propagation
+    # ------------------------------------------------------------------
+    def extract_block(self, users: np.ndarray, pos_items: np.ndarray,
+                      neg_items: np.ndarray, *, fanout=10,
+                      rng: np.random.Generator | None = None):
+        """Prefetchable per-hop blocks in the joint (users+items) space."""
+        users = np.asarray(users, dtype=np.int64)
+        item_nodes = self.num_users + np.concatenate([
+            np.asarray(pos_items, dtype=np.int64),
+            np.asarray(neg_items, dtype=np.int64)])
+        return self.engine.layered_subgraph_nodes(
+            np.concatenate([users, item_nodes]),
+            hops=self.num_layers, fanout=fanout, rng=rng)
+
+    def _ego_rows(self, nodes: np.ndarray) -> Tensor:
+        """Row-sparse gather of the split ego table for a joint node set."""
+        from repro.tensor.tensor import concat
+
+        user_rows = nodes[nodes < self.num_users]
+        item_rows = nodes[nodes >= self.num_users] - self.num_users
+        pieces = []
+        if user_rows.size:
+            pieces.append(self.user_embeddings.embedding_rows(user_rows))
+        if item_rows.size:
+            pieces.append(self.item_embeddings.embedding_rows(item_rows))
+        return pieces[0] if len(pieces) == 1 else concat(pieces, axis=0)
+
+    def block_batch_scores(self, users: np.ndarray, pos_items: np.ndarray,
+                           neg_items: np.ndarray, block,
+                           ) -> tuple[Tensor, Tensor]:
+        """Batch scores over prefetched per-hop blocks.
+
+        Each bi-interaction layer computes only the next (shrinking) level
+        set; the final NGCF concatenation gathers every level's seed rows.
+        """
+        from repro.tensor.tensor import concat
+
+        users = np.asarray(users, dtype=np.int64)
+        pos_items = np.asarray(pos_items, dtype=np.int64)
+        neg_items = np.asarray(neg_items, dtype=np.int64)
+        levels = self._bi_interaction_stack(
+            self._ego_rows(block.levels[0]),
+            lambda level, h: block.propagate(level, h),
+            lambda level, h: h.gather_rows(block.restrict(level + 1)))
+
+        def embed(node_ids: np.ndarray) -> Tensor:
+            return concat([
+                h.gather_rows(block.localize(level, node_ids))
+                for level, h in enumerate(levels)], axis=1)
+
+        u = embed(users)
+        pos = (u * embed(self.num_users + pos_items)).sum(axis=1)
+        neg = (u * embed(self.num_users + neg_items)).sum(axis=1)
+        return pos, neg
 
     def _tables(self) -> tuple[np.ndarray, np.ndarray]:
         """Engine-cached propagated embedding tables (inference mode)."""

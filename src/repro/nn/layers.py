@@ -59,6 +59,16 @@ class Embedding(Module):
     def forward(self, indices: np.ndarray) -> Tensor:
         return self.weight.gather_rows(np.asarray(indices))
 
+    def rows(self, indices: np.ndarray) -> Tensor:
+        """Row-sparse lookup for the sampled training path.
+
+        Like calling the layer, but the backward pass emits a
+        :class:`~repro.tensor.RowSparseGrad` over the touched rows instead
+        of scatter-adding into a table-shaped zero array (see
+        :meth:`~repro.tensor.Tensor.embedding_rows`); indices must be 1-D.
+        """
+        return self.weight.embedding_rows(np.asarray(indices, dtype=np.int64))
+
     def all(self) -> Tensor:
         """The full table as a tensor (for full-graph propagation)."""
         return self.weight

@@ -46,6 +46,24 @@ class RecommendationService:
     auto_refresh:
         Warm-reload the snapshot automatically when the model's engine
         version moved (default on).
+
+    Lifecycle: construction cold-loads (snapshot + exclusion mask +
+    retriever); every ``recommend`` / ``score_candidates`` call first
+    checks the model's engine version and warm-reloads a stale snapshot;
+    ``reload(cold=True)`` rebuilds everything (e.g. after the training
+    data — and thus the exclusion mask — changed).
+
+    >>> import numpy as np
+    >>> from repro.data import taobao_like
+    >>> from repro.models import BiasMF
+    >>> data = taobao_like(num_users=25, num_items=40, seed=0)
+    >>> model = BiasMF(data.num_users, data.num_items, seed=0)
+    >>> service = RecommendationService(model, train=data, k_default=3)
+    >>> result = service.recommend([0, 1])
+    >>> result.items.shape          # (users, k), best item first
+    (2, 3)
+    >>> bool(np.isfinite(result.scores).all())
+    True
     """
 
     def __init__(self, model, train=None, *, dtype="float32",

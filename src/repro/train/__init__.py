@@ -2,6 +2,7 @@
 
 from repro.train.seed import seeded_rng, spawn_rngs
 from repro.train.trainer import Trainer, TrainConfig, EpochLog
+from repro.train.pipeline import SampledBatchPipeline, PreparedBatch
 from repro.train.callbacks import EarlyStopping, HistoryRecorder
 
 __all__ = [
@@ -10,6 +11,8 @@ __all__ = [
     "Trainer",
     "TrainConfig",
     "EpochLog",
+    "SampledBatchPipeline",
+    "PreparedBatch",
     "EarlyStopping",
     "HistoryRecorder",
 ]

@@ -1,0 +1,130 @@
+"""Layered (per-hop) blocks: structure, exactness, and sparse gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import leave_one_out_split, taobao_like
+from repro.models import NGCF
+from repro.tensor import RowSparseGrad
+
+
+@pytest.fixture(scope="module")
+def tiny_split():
+    return leave_one_out_split(taobao_like(num_users=60, num_items=150, seed=0))
+
+
+@pytest.fixture(scope="module")
+def gnmr(tiny_split):
+    model = GNMR(tiny_split.train, GNMRConfig(pretrain=False, seed=0,
+                                              dropout=0.0))
+    model.eval()
+    return model
+
+
+class TestStructure:
+    def test_levels_shrink_toward_seeds(self, gnmr):
+        users = np.arange(6); items = np.arange(12)
+        block = gnmr.engine.layered_subgraph(users, items, hops=2,
+                                             fanout=5,
+                                             rng=np.random.default_rng(0))
+        u_sizes = [level.size for level in block.user_levels]
+        i_sizes = [level.size for level in block.item_levels]
+        assert u_sizes[0] >= u_sizes[1] >= u_sizes[2]
+        assert i_sizes[0] >= i_sizes[1] >= i_sizes[2]
+        np.testing.assert_array_equal(block.user_levels[2], np.arange(6))
+        np.testing.assert_array_equal(block.item_levels[2], np.arange(12))
+
+    def test_levels_are_nested(self, gnmr):
+        block = gnmr.engine.layered_subgraph(
+            np.arange(4), np.arange(8), hops=2, fanout=4,
+            rng=np.random.default_rng(1))
+        for level in (1, 2):
+            assert np.isin(block.user_levels[level],
+                           block.user_levels[level - 1]).all()
+            assert np.isin(block.item_levels[level],
+                           block.item_levels[level - 1]).all()
+
+    def test_hop_shapes_match_levels(self, gnmr):
+        block = gnmr.engine.layered_subgraph(
+            np.arange(4), np.arange(8), hops=2, fanout=4,
+            rng=np.random.default_rng(2))
+        k = block.num_behaviors
+        for level, hop in enumerate(block.user_hops):
+            rows, cols = hop.stack.shape
+            assert rows == k * block.user_levels[level + 1].size
+            assert cols == block.item_levels[level].size
+
+    def test_schedule_mismatch_rejected(self, gnmr):
+        with pytest.raises(ValueError, match="hops"):
+            gnmr.engine.layered_subgraph(np.arange(4), np.arange(8), hops=2,
+                                         fanout=(5,),
+                                         rng=np.random.default_rng(0))
+
+
+class TestExactness:
+    """At fanout=None the seed outputs reproduce full-graph values."""
+
+    def test_gnmr_scores_exact_at_unlimited_fanout(self, gnmr):
+        users = np.arange(10); pos = np.arange(10); neg = np.arange(10, 20)
+        full_pos, full_neg = gnmr.batch_scores(users, pos, neg)
+        block = gnmr.extract_block(users, pos, neg, fanout=None,
+                                   rng=np.random.default_rng(0))
+        lay_pos, lay_neg = gnmr.block_batch_scores(users, pos, neg, block)
+        np.testing.assert_allclose(lay_pos.data, full_pos.data,
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(lay_neg.data, full_neg.data,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_ngcf_scores_exact_at_unlimited_fanout(self, tiny_split):
+        model = NGCF(tiny_split.train, seed=0, num_layers=2)
+        model.eval()
+        users = np.arange(10); pos = np.arange(10); neg = np.arange(10, 20)
+        full_pos, full_neg = model.batch_scores(users, pos, neg)
+        block = model.extract_block(users, pos, neg, fanout=None,
+                                    rng=np.random.default_rng(0))
+        lay_pos, lay_neg = model.block_batch_scores(users, pos, neg, block)
+        np.testing.assert_allclose(lay_pos.data, full_pos.data,
+                                   rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(lay_neg.data, full_neg.data,
+                                   rtol=1e-12, atol=1e-12)
+
+    def test_zero_layer_model_matches_full(self, tiny_split):
+        model = GNMR(tiny_split.train, GNMRConfig(pretrain=False, seed=0,
+                                                  num_layers=0, dropout=0.0))
+        model.eval()
+        users = np.arange(5); pos = np.arange(5); neg = np.arange(5, 10)
+        full_pos, _ = model.batch_scores(users, pos, neg)
+        block = model.extract_block(users, pos, neg, fanout=3,
+                                    rng=np.random.default_rng(0))
+        lay_pos, _ = model.block_batch_scores(users, pos, neg, block)
+        np.testing.assert_allclose(lay_pos.data, full_pos.data)
+
+
+class TestGradients:
+    def test_row_sparse_grads_reach_tables(self, tiny_split):
+        model = GNMR(tiny_split.train, GNMRConfig(pretrain=False, seed=0))
+        users = np.arange(6); pos = np.arange(6); neg = np.arange(6, 12)
+        block = model.extract_block(users, pos, neg, fanout=(4, 2),
+                                    rng=np.random.default_rng(0))
+        pos_s, neg_s = model.block_batch_scores(users, pos, neg, block)
+        loss = (1.0 - pos_s + neg_s).relu().sum()
+        loss = loss + model.l2_batch(users, pos, neg, 1e-4)
+        loss.backward()
+        assert isinstance(model.user_embeddings.grad, RowSparseGrad)
+        assert isinstance(model.item_embeddings.grad, RowSparseGrad)
+        # the sparse grad covers at most the widest level set
+        assert (model.user_embeddings.grad.nnz_rows
+                <= block.user_levels[0].size)
+
+    def test_layered_training_converges(self, tiny_split):
+        from repro.train import TrainConfig, Trainer
+
+        model = GNMR(tiny_split.train,
+                     GNMRConfig(pretrain=False, seed=0, num_layers=1))
+        config = TrainConfig(epochs=6, steps_per_epoch=4, batch_users=12,
+                             per_user=2, propagation="async", workers=0,
+                             fanout=8, seed=0)
+        history = Trainer(model, tiny_split.train, config).run()
+        losses = history.series("loss")
+        assert losses[-1] < losses[0]

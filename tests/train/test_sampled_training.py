@@ -87,9 +87,20 @@ class TestSampledFallback:
         assert losses[-1] < losses[0]
 
     def test_default_l2_batch_matches_full(self, tiny_split):
+        # models without embedding tables keep the fallback: every
+        # parameter is dense-touched each step, so batch L2 == full L2
+        # (BiasMF/NCF now override l2_batch batch-locally — see
+        # tests/models/test_sparse_baselines.py)
+        from repro.models.base import Recommender
         from repro.nn.losses import l2_regularization
+        from repro.nn.module import Parameter
 
-        model = BiasMF(tiny_split.train.num_users, tiny_split.train.num_items, seed=0)
+        class DenseOnly(Recommender):
+            def __init__(self):
+                super().__init__(4, 4)
+                self.w = Parameter(np.arange(6, dtype=np.float64), name="w")
+
+        model = DenseOnly()
         users = np.array([0, 1]); items = np.array([2, 3])
         batch = model.l2_batch(users, items, items, 1e-3)
         full = l2_regularization(model.parameters(), 1e-3)

@@ -1,0 +1,94 @@
+"""Markdown link checker for the docs site (no network, no deps).
+
+Validates every ``[text](target)`` and bare reference in ``docs/*.md`` and
+``README.md``:
+
+* relative file links must point at files that exist in the repo (anchors
+  are stripped; ``#section`` anchors are checked against the target file's
+  headings);
+* ``http(s)`` links are format-checked only — CI must not flake on
+  third-party outages;
+* bare intra-doc anchors (``#heading``) must match a heading in the same
+  file.
+
+Exit code 1 with a per-link report when anything is broken.
+
+Usage::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub-style anchor: lowercase, spaces → dashes, drop punctuation."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {_anchor_of(m.group(1))
+            for m in HEADING_RE.finditer(path.read_text())}
+
+
+def check_file(path: Path) -> list[str]:
+    errors: list[str] = []
+    text = path.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        line = text[:match.start()].count("\n") + 1
+        where = f"{path.relative_to(REPO)}:{line}"
+        if target.startswith(("http://", "https://")):
+            continue  # format ok; never hit the network in CI
+        if target.startswith("mailto:"):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:  # intra-document anchor
+            if _anchor_of(anchor) not in _anchors(path):
+                errors.append(f"{where}: missing anchor #{anchor}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{where}: broken link {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _anchor_of(anchor) not in _anchors(resolved):
+                errors.append(f"{where}: {base} has no anchor #{anchor}")
+    return errors
+
+
+def main() -> int:
+    missing = [p for p in DOC_FILES if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"missing doc file: {path}")
+        return 1
+    errors: list[str] = []
+    checked = 0
+    for path in DOC_FILES:
+        errors.extend(check_file(path))
+        checked += 1
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} files:")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"link check OK: {checked} files, no broken links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
