@@ -20,9 +20,13 @@ Compares a fresh benchmark run against the committed baselines and fails
   graph at batch 32 (the row-sparse mini-batch path's reason to exist),
   the async-pipelined step must stay ≥ 1.3× faster than the sync sampled
   step on mean per-step time (layered per-hop blocks + double-buffered
-  background extraction — see ``repro.train.pipeline``), and neither
-  ratio may lose more than the tolerance versus the committed baseline.
-  Both speedups are same-machine ratios, so no normalization is needed.
+  background extraction — see ``repro.train.pipeline``), the
+  sharded-table sampled step (``GNMRConfig(shards=2)``) must cost at
+  most ``BENCH_SHARD_MAX``× the unsharded sampled step (sharding is a
+  bounded constant-factor tax, never an asymptotic one — see
+  ``repro.shard``), and none of the ratios may lose more than the
+  tolerance versus the committed baseline. All are same-machine ratios,
+  so no normalization is needed.
 
 Usage (what CI runs after regenerating the fresh payloads)::
 
@@ -31,7 +35,8 @@ Usage (what CI runs after regenerating the fresh payloads)::
 
 Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
 ``BENCH_FLOAT32_MIN`` (default 1.3), ``BENCH_FUSED_MIN`` (default 0.9),
-``BENCH_SAMPLED_MIN`` (default 3.0), ``BENCH_ASYNC_MIN`` (default 1.3).
+``BENCH_SAMPLED_MIN`` (default 3.0), ``BENCH_ASYNC_MIN`` (default 1.3),
+``BENCH_SHARD_MAX`` (default 2.0).
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ FLOAT32_MIN = float(os.environ.get("BENCH_FLOAT32_MIN", "1.3"))
 FUSED_MIN = float(os.environ.get("BENCH_FUSED_MIN", "0.9"))
 SAMPLED_MIN = float(os.environ.get("BENCH_SAMPLED_MIN", "3.0"))
 ASYNC_MIN = float(os.environ.get("BENCH_ASYNC_MIN", "1.3"))
+SHARD_MAX = float(os.environ.get("BENCH_SHARD_MAX", "2.0"))
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -187,8 +193,17 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
             gate.check("async-training-speedup", async_speedup >= ASYNC_MIN,
                        f"{async_speedup:.2f}x vs sync sampled "
                        f"(floor {ASYNC_MIN}x, mean step time)")
+        shard_overhead = training.get("shard_overhead_large")
+        if shard_overhead is None:
+            gate.check("shard-overhead", False,
+                       "payload has no shard_overhead_large")
+        else:
+            shard_overhead = float(shard_overhead)
+            gate.check("shard-overhead", shard_overhead <= SHARD_MAX,
+                       f"{shard_overhead:.2f}x vs unsharded sampled "
+                       f"(ceiling {SHARD_MAX}x, mean step time)")
         for scale, row in training["scales"].items():
-            for mode in ("full", "sampled", "async"):
+            for mode in ("full", "sampled", "async", "sharded"):
                 if mode not in row:
                     gate.check(f"training-{scale}-{mode}", False,
                                "mode missing from payload")
@@ -214,6 +229,22 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
             gate.check("async-speedup-vs-baseline", async_speedup >= floor,
                        f"{async_speedup:.2f}x vs baseline "
                        f"{float(base_async):.2f}x (floor {floor:.2f}x)")
+        base_shard = (training_base or {}).get("shard_overhead_large")
+        if base_shard is None:
+            # committed baselines from before sharded tables landed
+            gate.skip("shard-overhead-vs-baseline", "no committed baseline")
+        elif shard_overhead is not None:
+            # the overhead ratio sits near 1.0 (measured ~1.05), so a purely
+            # multiplicative ceiling (base*1.2 = 1.26x) would leave less
+            # headroom than the absolute SHARD_MAX bar was chosen to give —
+            # runner noise on a near-parity ratio is additive, not
+            # proportional. Floor the ceiling at 1 + 2*tolerance.
+            ceiling = max(float(base_shard) * (1.0 + TOLERANCE),
+                          1.0 + 2.0 * TOLERANCE)
+            gate.check("shard-overhead-vs-baseline",
+                       shard_overhead <= ceiling,
+                       f"{shard_overhead:.2f}x vs baseline "
+                       f"{float(base_shard):.2f}x (ceiling {ceiling:.2f}x)")
 
     print(f"\n{gate.checks} checks, {len(gate.failures)} failure(s)"
           + (f": {', '.join(gate.failures)}" if gate.failures else ""))

@@ -112,16 +112,22 @@ def cmd_train(args) -> int:
     # engine/adjacency path, and TrainConfig covers the training loop.
     overrides = {"dtype": args.dtype} if args.dtype else None
     with default_dtype(args.dtype):  # None → ambient default
-        model = make_model(args.model, split.train, scale, gnmr_overrides=overrides)
+        model = make_model(args.model, split.train, scale,
+                           gnmr_overrides=overrides, shards=args.shards,
+                           shard_strategy=args.shard_strategy)
+    shard_note = f", shards={args.shards}" if args.shards else ""
     print(f"training {args.model} on {dataset.name} "
           f"({model.num_parameters():,} parameters, dtype={args.dtype or 'float64'}, "
-          f"propagation={args.propagation})")
+          f"propagation={args.propagation}{shard_note})")
     train_overrides = dict({"dtype": args.dtype} if args.dtype else {})
     train_overrides["propagation"] = args.propagation
     if args.fanout is not _FANOUT_UNSET:
         train_overrides["fanout"] = args.fanout
     if args.workers is not None:
         train_overrides["workers"] = args.workers
+    if args.shards is not None:
+        # per-shard optimizer parameter groups (state stays shard-local)
+        train_overrides["shards"] = args.shards
     model.fit(split.train, scale.train_config(**train_overrides))
     if args.eval == "full":
         outcome = evaluate_full_ranking(model, split.train,
@@ -142,6 +148,8 @@ def cmd_train(args) -> int:
                                          "num_users": scale.num_users,
                                          "num_items": scale.num_items,
                                          "dtype": args.dtype,
+                                         "shards": args.shards,
+                                         "shard_strategy": args.shard_strategy,
                                          "HR@10": outcome.hr(10)})
         print(f"checkpoint written to {path}")
     return 0
@@ -173,9 +181,15 @@ def cmd_recommend(args) -> int:
         # pre-training only shapes the initialization, which the checkpoint
         # overwrites anyway — skip the wasted autoencoder epochs
         overrides["pretrain"] = False
+    # a model checkpointed with sharded tables must be rebuilt sharded or
+    # the state-dict keys (per-shard blocks) will not line up
+    shards = meta.get("shards")
+    shards = int(shards) if shards else None
+    shard_strategy = meta.get("shard_strategy") or "range"
     with default_dtype(dtype):  # None → ambient default
         model = make_model(model_name, split.train, scale,
-                           gnmr_overrides=overrides or None)
+                           gnmr_overrides=overrides or None,
+                           shards=shards, shard_strategy=shard_strategy)
     if args.checkpoint:
         load_checkpoint(model, args.checkpoint)
     else:
@@ -263,6 +277,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--workers", type=int, default=None,
                          help="background block-extraction threads for "
                               "--propagation async (0 = inline; default 1)")
+    p_train.add_argument("--shards", type=int, default=None,
+                         help="partition the user/item embedding tables "
+                              "across K logical shards (parameter-server "
+                              "layout; 1 bit-matches unsharded, K matches "
+                              "1 under the documented parity contract)")
+    p_train.add_argument("--shard-strategy", default="range",
+                         choices=["range", "hash"],
+                         help="row partitioning: contiguous ranges or "
+                              "modulo hashing (balances skewed ids)")
     p_rec = sub.add_parser(
         "recommend",
         help="serve top-K recommendations as JSON (repro.serve)")

@@ -119,13 +119,19 @@ class Recommender(Module):
 
         Penalizes each table's touched rows via row-sparse gathers, plus
         every parameter *not* listed as a table densely (layer weights are
-        touched each step regardless of sampling).
+        touched each step regardless of sampling). A table may be a raw
+        ``Parameter``, an ``nn.Embedding``, or a
+        :class:`~repro.shard.ShardedEmbedding` — for the latter two every
+        parameter behind the table (the weight, or all K shard blocks) is
+        excluded from the dense sweep.
         """
         from repro.nn.losses import l2_regularization_batch
+        from repro.shard import table_parameters
 
-        tables = [table for table, _ in entries]
+        table_params = [p for table, _ in entries
+                        for p in table_parameters(table)]
         dense = [p for p in self.parameters()
-                 if not any(p is table for table in tables)]
+                 if not any(p is q for q in table_params)]
         return l2_regularization_batch(entries, dense, weight)
 
     def _embedding_l2_batch(self, user_table, item_table,

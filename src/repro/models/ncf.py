@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.models.base import Recommender
 from repro.nn.layers import Embedding, MLP, Linear
+from repro.shard import ShardedEmbedding
 from repro.tensor import Tensor
 from repro.tensor.tensor import concat
 
@@ -30,17 +31,34 @@ def _batch_arrays(users, pos_items, neg_items):
             np.asarray(neg_items, dtype=np.int64))
 
 
+def _make_table(num_rows: int, dim: int, rng, shards: int | None,
+                strategy: str, name: str):
+    """An ``nn.Embedding`` or its sharded drop-in, same init stream.
+
+    ``ShardedEmbedding.init`` draws the full table with the same scheme and
+    rng consumption as ``nn.Embedding`` before slicing it, so sharded and
+    unsharded models start from bit-identical weights.
+    """
+    if shards is None:
+        return Embedding(num_rows, dim, rng=rng)
+    return ShardedEmbedding.init(num_rows, dim, rng, num_shards=shards,
+                                 strategy=strategy, name=name)
+
+
 class NCFGMF(Recommender):
     """NCF-G: generalized matrix factorization branch alone."""
 
     name = "NCF-G"
 
     def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
-                 seed: int = 0):
+                 seed: int = 0, shards: int | None = None,
+                 shard_strategy: str = "range"):
         super().__init__(num_users, num_items)
         rng = np.random.default_rng(seed)
-        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng)
-        self.item_embeddings = Embedding(num_items, embedding_dim, rng=rng)
+        self.user_embeddings = _make_table(num_users, embedding_dim, rng,
+                                           shards, shard_strategy, "gmf_user")
+        self.item_embeddings = _make_table(num_items, embedding_dim, rng,
+                                           shards, shard_strategy, "gmf_item")
         self.output = Linear(embedding_dim, 1, rng=rng)
 
     def _combine(self, p: Tensor, q: Tensor) -> Tensor:
@@ -61,7 +79,7 @@ class NCFGMF(Recommender):
 
     def l2_batch(self, users, pos_items, neg_items, weight: float) -> Tensor:
         return self._embedding_l2_batch(
-            self.user_embeddings.weight, self.item_embeddings.weight,
+            self.user_embeddings, self.item_embeddings,
             users, pos_items, neg_items, weight)
 
 
@@ -71,11 +89,14 @@ class NCFMLP(Recommender):
     name = "NCF-M"
 
     def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
-                 hidden_sizes: tuple[int, ...] = (32, 16), seed: int = 0):
+                 hidden_sizes: tuple[int, ...] = (32, 16), seed: int = 0,
+                 shards: int | None = None, shard_strategy: str = "range"):
         super().__init__(num_users, num_items)
         rng = np.random.default_rng(seed)
-        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng)
-        self.item_embeddings = Embedding(num_items, embedding_dim, rng=rng)
+        self.user_embeddings = _make_table(num_users, embedding_dim, rng,
+                                           shards, shard_strategy, "mlp_user")
+        self.item_embeddings = _make_table(num_items, embedding_dim, rng,
+                                           shards, shard_strategy, "mlp_item")
         self.mlp = MLP([2 * embedding_dim, *hidden_sizes, 1], rng=rng)
 
     def _combine(self, p: Tensor, q: Tensor) -> Tensor:
@@ -96,7 +117,7 @@ class NCFMLP(Recommender):
 
     def l2_batch(self, users, pos_items, neg_items, weight: float) -> Tensor:
         return self._embedding_l2_batch(
-            self.user_embeddings.weight, self.item_embeddings.weight,
+            self.user_embeddings, self.item_embeddings,
             users, pos_items, neg_items, weight)
 
 
@@ -106,13 +127,18 @@ class NeuMF(Recommender):
     name = "NCF-N"
 
     def __init__(self, num_users: int, num_items: int, embedding_dim: int = 16,
-                 hidden_sizes: tuple[int, ...] = (32, 16), seed: int = 0):
+                 hidden_sizes: tuple[int, ...] = (32, 16), seed: int = 0,
+                 shards: int | None = None, shard_strategy: str = "range"):
         super().__init__(num_users, num_items)
         rng = np.random.default_rng(seed)
-        self.gmf_user = Embedding(num_users, embedding_dim, rng=rng)
-        self.gmf_item = Embedding(num_items, embedding_dim, rng=rng)
-        self.mlp_user = Embedding(num_users, embedding_dim, rng=rng)
-        self.mlp_item = Embedding(num_items, embedding_dim, rng=rng)
+        self.gmf_user = _make_table(num_users, embedding_dim, rng,
+                                    shards, shard_strategy, "gmf_user")
+        self.gmf_item = _make_table(num_items, embedding_dim, rng,
+                                    shards, shard_strategy, "gmf_item")
+        self.mlp_user = _make_table(num_users, embedding_dim, rng,
+                                    shards, shard_strategy, "mlp_user")
+        self.mlp_item = _make_table(num_items, embedding_dim, rng,
+                                    shards, shard_strategy, "mlp_item")
         self.mlp = MLP([2 * embedding_dim, *hidden_sizes], out_activation="relu", rng=rng)
         self.output = Linear(embedding_dim + hidden_sizes[-1], 1, rng=rng)
 
@@ -144,6 +170,6 @@ class NeuMF(Recommender):
         users, pos_items, neg_items = _batch_arrays(users, pos_items, neg_items)
         items = np.concatenate([pos_items, neg_items])
         return self._tables_l2_batch(
-            [(self.gmf_user.weight, users), (self.mlp_user.weight, users),
-             (self.gmf_item.weight, items), (self.mlp_item.weight, items)],
+            [(self.gmf_user, users), (self.mlp_user, users),
+             (self.gmf_item, items), (self.mlp_item, items)],
             weight)

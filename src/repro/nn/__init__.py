@@ -25,6 +25,7 @@ from repro.nn.optim import (
     Adam,
     clip_grad_norm,
     global_grad_norm,
+    shard_param_groups,
 )
 from repro.nn.schedulers import ExponentialDecay, StepDecay, ConstantSchedule
 
@@ -53,6 +54,7 @@ __all__ = [
     "Adam",
     "clip_grad_norm",
     "global_grad_norm",
+    "shard_param_groups",
     "ExponentialDecay",
     "StepDecay",
     "ConstantSchedule",

@@ -15,14 +15,48 @@ with the batch instead of the embedding-table size. Rows a sparse step does
 not touch keep their state frozen (velocity, Adam moments, Adagrad
 accumulators), the standard lazy semantics of sparse optimizers. Dense
 gradients take the exact same code path as before, bit for bit.
+
+Parameter groups
+----------------
+Optimizers accept either a flat parameter list or a list of *groups*
+(``{"params": [...], "shard": label}``), the hook the sharded-embedding
+subsystem (:mod:`repro.shard`) uses: each shard's parameters form one
+group, so optimizer state is attributable per shard and ``step(shard=k)``
+applies exactly one shard's updates — the parameter-server execution
+model where each server steps the rows it owns. A plain ``step()`` updates
+every group in declaration order, bit-identical to the ungrouped path.
+:func:`shard_param_groups` builds the grouping from any module whose
+parameters carry the ``.shard`` tag :class:`~repro.shard.ShardedEmbedding`
+sets.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Parameter
+from repro.nn.module import Module, Parameter
 from repro.tensor.rowsparse import RowSparseGrad
+
+
+def shard_param_groups(module_or_params) -> list[dict]:
+    """Group parameters by their ``.shard`` tag (``None`` = unsharded).
+
+    Accepts a :class:`~repro.nn.module.Module` or a parameter iterable and
+    returns optimizer parameter groups: the untagged parameters first
+    (one group, ``shard=None``), then one group per shard id in ascending
+    order. Declaration order inside each group follows the module's
+    parameter walk, so a model with no sharded tables yields a single
+    group equivalent to the flat list.
+    """
+    params = (module_or_params.parameters()
+              if isinstance(module_or_params, Module)
+              else list(module_or_params))
+    by_shard: dict[int | None, list[Parameter]] = {}
+    for p in params:
+        by_shard.setdefault(getattr(p, "shard", None), []).append(p)
+    labels = sorted((k for k in by_shard if k is not None))
+    ordered: list[int | None] = ([None] if None in by_shard else []) + labels
+    return [{"params": by_shard[label], "shard": label} for label in ordered]
 
 
 def _row_bias(correction: np.ndarray, values_ndim: int) -> np.ndarray:
@@ -71,29 +105,57 @@ def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base optimizer over a list of parameters."""
+    """Base optimizer over a flat parameter list or parameter groups."""
 
-    def __init__(self, parameters: list[Parameter], lr: float):
+    def __init__(self, parameters, lr: float):
         if lr <= 0:
             raise ValueError("learning rate must be positive")
-        self.parameters = list(parameters)
+        parameters = list(parameters)
+        if parameters and isinstance(parameters[0], dict):
+            self.param_groups = [{"params": list(g["params"]),
+                                  "shard": g.get("shard")}
+                                 for g in parameters]
+        else:
+            self.param_groups = [{"params": parameters, "shard": None}]
+        self.parameters = [p for g in self.param_groups for p in g["params"]]
+        self._shard_of = [g["shard"] for g in self.param_groups
+                          for _ in g["params"]]
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
         self.lr = float(lr)
+
+    def shards(self) -> list:
+        """Distinct shard labels across the groups (``None`` excluded)."""
+        seen: list = []
+        for g in self.param_groups:
+            if g["shard"] is not None and g["shard"] not in seen:
+                seen.append(g["shard"])
+        return seen
+
+    def _active(self, shard) -> list[int]:
+        """Parameter indices a ``step(shard=...)`` call updates."""
+        if shard is None:
+            return list(range(len(self.parameters)))
+        indices = [i for i, label in enumerate(self._shard_of)
+                   if label == shard]
+        if not indices:
+            raise ValueError(f"no parameter group with shard {shard!r}")
+        return indices
 
     def zero_grad(self) -> None:
         for p in self.parameters:
             p.zero_grad()
 
-    def step(self) -> None:
+    def step(self, shard=None) -> None:
         raise NotImplementedError
 
 
 class SGD(Optimizer):
     """Vanilla stochastic gradient descent."""
 
-    def step(self) -> None:
-        for p in self.parameters:
+    def step(self, shard=None) -> None:
+        for i in self._active(shard):
+            p = self.parameters[i]
             if p.grad is None:
                 continue
             if isinstance(p.grad, RowSparseGrad):
@@ -115,8 +177,9 @@ class Momentum(Optimizer):
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
-    def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+    def step(self, shard=None) -> None:
+        for i in self._active(shard):
+            p, v = self.parameters[i], self._velocity[i]
             if p.grad is None:
                 continue
             if isinstance(p.grad, RowSparseGrad):
@@ -138,8 +201,9 @@ class Adagrad(Optimizer):
         self.eps = eps
         self._accum = [np.zeros_like(p.data) for p in self.parameters]
 
-    def step(self) -> None:
-        for p, acc in zip(self.parameters, self._accum):
+    def step(self, shard=None) -> None:
+        for i in self._active(shard):
+            p, acc = self.parameters[i], self._accum[i]
             if p.grad is None:
                 continue
             if isinstance(p.grad, RowSparseGrad):
@@ -155,24 +219,37 @@ class Adagrad(Optimizer):
 class Adam(Optimizer):
     """Adam with bias correction (Kingma & Ba, 2015).
 
-    Dense gradients use the global step count ``t`` exactly as the original
-    implementation did. Row-sparse gradients run *lazy Adam*: moments are
-    updated only on the touched rows, and bias correction uses a per-row
-    step count (how many times that row has actually been updated) — the
-    correction a fresh row needs, which the global ``t`` would understate
-    drastically for rarely-sampled rows. Parameters that only ever receive
-    dense gradients never allocate the per-row counters.
+    Dense gradients use the parameter's step count ``t`` exactly as the
+    original implementation did (with a flat parameter list every ``t``
+    advances on every ``step()``, so this *is* the classic global count).
+    Row-sparse gradients run *lazy Adam*: moments are updated only on the
+    touched rows, and bias correction uses a per-row step count (how many
+    times that row has actually been updated) — the correction a fresh row
+    needs, which the global ``t`` would understate drastically for
+    rarely-sampled rows. Parameters that only ever receive dense gradients
+    never allocate the per-row counters.
+
+    With per-shard parameter groups the step counts are kept per parameter,
+    so ``step(shard=k)`` advances only shard ``k``'s clocks — moments, row
+    counters and bias corrections stay shard-local, never mixing state
+    across shards.
     """
 
-    def __init__(self, parameters: list[Parameter], lr: float = 1e-3,
+    def __init__(self, parameters, lr: float = 1e-3,
                  betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8):
         super().__init__(parameters, lr)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
-        self._t = 0
+        self._param_t = [0] * len(self.parameters)
         self._row_steps: list[np.ndarray | None] = [None] * len(self.parameters)
+
+    @property
+    def _t(self) -> int:
+        """Max per-parameter step count (the classic global ``t`` when no
+        shard-filtered steps have run)."""
+        return max(self._param_t)
 
     def _sparse_step(self, i: int, p: Parameter, g: RowSparseGrad) -> None:
         m, v = self._m[i], self._v[i]
@@ -181,7 +258,7 @@ class Adam(Optimizer):
             counts = np.zeros(p.data.shape[0], dtype=np.int64)
             # rows already advanced by earlier dense steps keep their global
             # count so their bias correction stays monotone
-            counts[:] = self._t - 1
+            counts[:] = self._param_t[i] - 1
             self._row_steps[i] = counts
         rows = g.indices
         counts[rows] += 1
@@ -195,11 +272,12 @@ class Adam(Optimizer):
         v_hat = v[rows] / bias2
         p.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
-    def step(self) -> None:
-        self._t += 1
-        bias1 = 1.0 - self.beta1 ** self._t
-        bias2 = 1.0 - self.beta2 ** self._t
-        for i, (p, m, v) in enumerate(zip(self.parameters, self._m, self._v)):
+    def step(self, shard=None) -> None:
+        for i in self._active(shard):
+            # the parameter's clock advances on every step that covers it,
+            # grad or not — identical to the old global `t` for full steps
+            self._param_t[i] += 1
+            p, m, v = self.parameters[i], self._m[i], self._v[i]
             if p.grad is None:
                 continue
             if isinstance(p.grad, RowSparseGrad):
@@ -208,6 +286,8 @@ class Adam(Optimizer):
             if self._row_steps[i] is not None:
                 # dense step on a row-tracked parameter advances every row
                 self._row_steps[i] += 1
+            bias1 = 1.0 - self.beta1 ** self._param_t[i]
+            bias2 = 1.0 - self.beta2 ** self._param_t[i]
             m *= self.beta1
             m += (1.0 - self.beta1) * p.grad
             v *= self.beta2

@@ -83,6 +83,42 @@ class EmbeddingStore:
         return cls(user_matrix, item_matrix, version=model_version(model),
                    dtype=dtype, source=getattr(model, "name", "unknown"))
 
+    @classmethod
+    def from_shards(cls, user_shards, item_shards, *,
+                    user_spec=None, item_spec=None, version: int | None = None,
+                    dtype="float32", source: str = "sharded",
+                    ) -> "EmbeddingStore":
+        """Assemble one serving snapshot from shard-local embedding tables.
+
+        The parameter-server serving path: each shard owns a row partition
+        of the user/item tables (``repro.shard.ShardedEmbedding``, or the
+        per-shard matrices pulled from K servers), and the snapshot stitches
+        them back into the dense matrices the blocked top-K retriever
+        wants. Assembly is an exact row scatter, so a snapshot taken from
+        sharded tables is bit-identical (before the serving-dtype cast) to
+        one taken from the unsharded table.
+
+        Parameters
+        ----------
+        user_shards, item_shards:
+            Either a :class:`~repro.shard.ShardedEmbedding` or a list of
+            per-shard row blocks (``shard_rows`` order).
+        user_spec, item_spec:
+            The :class:`~repro.shard.ShardSpec` describing each partition;
+            required with raw block lists, ignored when a
+            ``ShardedEmbedding`` is passed (it knows its own spec).
+        """
+        def assemble(shards, spec) -> np.ndarray:
+            if hasattr(shards, "dense_table"):  # ShardedEmbedding
+                return shards.dense_table()
+            if spec is None:
+                raise ValueError("raw shard blocks need an explicit spec")
+            return spec.assemble(list(shards))
+
+        return cls(assemble(user_shards, user_spec),
+                   assemble(item_shards, item_spec),
+                   version=version, dtype=dtype, source=source)
+
     # ------------------------------------------------------------------
     @property
     def num_users(self) -> int:

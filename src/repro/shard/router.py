@@ -1,0 +1,108 @@
+"""Gradient routing between full-table and shard-local coordinates.
+
+In a parameter-server deployment the trainer computes one
+:class:`~repro.tensor.RowSparseGrad` per logical table — (rows, value
+block) pairs are exactly the wire format — and each server applies the
+slice it owns. :class:`GradRouter` is that boundary: :meth:`split` routes
+a full-table gradient into per-shard gradients in shard-local
+coordinates, :meth:`merge` is the exact inverse, and :meth:`apply`
+accumulates a full-table gradient onto a
+:class:`~repro.shard.ShardedEmbedding`'s shard parameters so a stock
+optimizer (with its shard-local lazy per-row state) can step them.
+
+Routing is bit-exact: splitting reorders *rows*, never sums values —
+duplicate-row coalescing happens inside ``RowSparseGrad`` with the same
+per-row accumulation order the unsharded path uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.shard.embedding import ShardedEmbedding
+from repro.shard.spec import ShardSpec
+from repro.tensor.rowsparse import RowSparseGrad, add_grads
+
+
+class GradRouter:
+    """Split/merge/apply gradients across a :class:`ShardSpec` partition."""
+
+    def __init__(self, spec: ShardSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    def split(self, grad) -> dict[int, RowSparseGrad | np.ndarray]:
+        """Per-shard gradients (shard-local row coordinates) from a full one.
+
+        Row-sparse input stays row-sparse — each shard receives only the
+        rows it owns, re-indexed locally; shards owning none of the
+        gradient's rows are absent from the result. A dense input is
+        sliced into one dense block per shard (every shard present).
+        """
+        spec = self.spec
+        if isinstance(grad, RowSparseGrad):
+            if grad.num_rows != spec.num_rows:
+                raise ValueError(f"gradient covers {grad.num_rows} rows, "
+                                 f"spec {spec.num_rows}")
+            out: dict[int, RowSparseGrad | np.ndarray] = {}
+            shards = spec.shard_of(grad.indices)
+            local = spec.local_of(grad.indices)
+            for k in range(spec.num_shards):
+                mask = shards == k
+                if not mask.any():
+                    continue
+                out[k] = RowSparseGrad(local[mask], grad.values[mask],
+                                       int(spec.shard_rows(k).size),
+                                       coalesced=True)
+            return out
+        grad = np.asarray(grad)
+        if grad.shape[0] != spec.num_rows:
+            raise ValueError(f"gradient covers {grad.shape[0]} rows, "
+                             f"spec {spec.num_rows}")
+        return {k: grad[spec.shard_rows(k)] for k in range(spec.num_shards)}
+
+    def merge(self, parts: dict[int, RowSparseGrad | np.ndarray]):
+        """Reassemble a full-table gradient from per-shard pieces.
+
+        The inverse of :meth:`split`: sparse pieces merge into one
+        row-sparse gradient over global rows; any dense piece densifies
+        the result (matching ``RowSparseGrad``'s mixing rules).
+        """
+        spec = self.spec
+        if parts and any(not isinstance(g, RowSparseGrad)
+                         for g in parts.values()):
+            blocks = {k: (piece.to_dense() if isinstance(piece, RowSparseGrad)
+                          else np.asarray(piece))
+                      for k, piece in parts.items()}
+            first = next(iter(blocks.values()))
+            dense = np.zeros((spec.num_rows,) + first.shape[1:],
+                             dtype=first.dtype)
+            for k, block in blocks.items():
+                dense[spec.shard_rows(spec._check_shard(k))] += block
+            return dense
+        indices = []
+        values = []
+        for k, piece in sorted(parts.items()):
+            spec._check_shard(k)
+            indices.append(spec.shard_rows(k)[piece.indices])
+            values.append(piece.values)
+        if not indices:
+            return RowSparseGrad(np.empty(0, dtype=np.int64),
+                                 np.empty((0,)), spec.num_rows)
+        return RowSparseGrad(np.concatenate(indices),
+                             np.concatenate(values), spec.num_rows)
+
+    # ------------------------------------------------------------------
+    def apply(self, table: ShardedEmbedding, grad) -> None:
+        """Accumulate a full-table gradient onto the shard parameters.
+
+        The parameter-server "push": after this, each shard parameter's
+        ``.grad`` holds (only) its slice and a stock optimizer step
+        applies shard-local updates with shard-local state. Gradients
+        accumulate — call ``zero_grad`` between steps as usual.
+        """
+        if table.spec != self.spec:
+            raise ValueError("table spec does not match router spec")
+        for k, piece in self.split(grad).items():
+            p = table.shards[k]
+            p.grad = piece if p.grad is None else add_grads(p.grad, piece)

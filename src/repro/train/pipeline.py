@@ -12,20 +12,21 @@ block ready (hardware permitting).
 
 Determinism contract
 --------------------
-Everything random is split off one seed:
+Everything random is split off one seed, and nothing random depends on
+the worker count:
 
 * the **batch stream** is drawn step-ordered from its own generator on
   the consuming thread, so step ``t``'s batch never depends on worker
   count or scheduling;
-* each **worker** gets its own spawned child generator and processes the
-  fixed step slice ``w, w+W, w+2W, …`` — runs are bit-reproducible at a
-  fixed worker count, and ``workers=0`` (inline, no thread) consumes the
-  exact same streams as ``workers=1``, which is what the async-vs-sync
-  loss-trajectory equivalence test pins down.
+* **extraction** for step ``t`` runs on its own per-step spawned child
+  generator — whichever worker (or the inline ``workers=0`` path) ends
+  up executing it. Traces are therefore bit-reproducible across *any*
+  worker count: ``workers=0``, ``1`` and ``8`` draw the exact same
+  neighborhoods for every step, which is what the cross-worker
+  determinism golden in ``tests/train/test_pipeline.py`` pins down.
 
-Changing the worker count re-partitions the extraction rng streams and
-therefore draws different neighborhoods — same estimator, different
-sample; think of it like reshuffling data order.
+Worker count is purely an execution knob (how much extraction overlaps
+compute), never a sampling knob.
 
 >>> draws = iter([[0], [1], [2]])
 >>> pipe = SampledBatchPipeline(
@@ -74,10 +75,12 @@ class SampledBatchPipeline:
     total_steps:
         Number of steps the stream produces.
     seed:
-        Root seed; the batch stream and each worker get spawned children.
+        Root seed; the batch stream and each *step's* extraction get
+        spawned children (per-step, not per-worker, so traces are
+        invariant to the worker count).
     workers:
         Background extraction threads. ``0`` runs everything inline on
-        the consuming thread — same rng streams as ``workers=1``, no
+        the consuming thread — same rng streams as any worker count, no
         threading — the reference the equivalence tests compare against.
     depth:
         Per-worker buffer depth; ``2`` double-buffers (one block being
@@ -103,8 +106,12 @@ class SampledBatchPipeline:
         root = np.random.SeedSequence(seed)
         batch_ss, extract_ss = root.spawn(2)
         self._batch_rng = np.random.default_rng(batch_ss)
-        self._worker_rngs = [np.random.default_rng(child)
-                             for child in extract_ss.spawn(max(workers, 1))]
+        # one child seed per STEP (not per worker): extraction randomness is
+        # a property of the step, so any worker count replays the same trace.
+        # Children are derived lazily (bit-identical to extract_ss.spawn —
+        # a spawned child is SeedSequence(entropy, spawn_key + (i,))) so
+        # construction stays O(1) however many total steps the run has.
+        self._extract_ss = extract_ss
 
         self._produced = 0      # next step to enqueue (batch already drawn)
         self._consumed = 0      # next step to hand out
@@ -122,11 +129,18 @@ class SampledBatchPipeline:
                 self._threads.append(thread)
                 thread.start()
 
+    def _step_rng(self, step: int) -> np.random.Generator:
+        """The step's extraction generator, derived lazily from the seed
+        tree (bit-identical to ``extract_ss.spawn(total_steps)[step]``)."""
+        parent = self._extract_ss
+        child = np.random.SeedSequence(entropy=parent.entropy,
+                                       spawn_key=parent.spawn_key + (step,))
+        return np.random.default_rng(child)
+
     # ------------------------------------------------------------------
     # worker side
     # ------------------------------------------------------------------
     def _worker_loop(self, w: int) -> None:
-        rng = self._worker_rngs[w]
         in_q, out_q = self._in_queues[w], self._out_queues[w]
         while True:
             item = in_q.get()
@@ -134,6 +148,7 @@ class SampledBatchPipeline:
                 return
             step, batch = item
             try:
+                rng = self._step_rng(step)
                 block = self._extract(batch, rng) if len(batch) else None
                 result = (step, batch, block, None)
             except BaseException as exc:  # surfaced on the consuming thread
@@ -170,8 +185,8 @@ class SampledBatchPipeline:
             raise RuntimeError("pipeline is closed")
         if self.workers == 0:
             batch = self._draw_batch(self._batch_rng)
-            block = (self._extract(batch, self._worker_rngs[0])
-                     if len(batch) else None)
+            rng = self._step_rng(self._consumed)
+            block = self._extract(batch, rng) if len(batch) else None
             prepared = PreparedBatch(self._consumed, batch, block)
             self._consumed += 1
             return prepared

@@ -20,7 +20,8 @@ Three propagation modes (``TrainConfig.propagation``):
   needs — see :mod:`repro.graph.layered`) double-buffered ahead of the
   optimizer, and the model scores through ``block_batch_scores``. Same
   estimator family as ``"sampled"``, materially faster per step, and
-  reproducible at a fixed worker count.
+  bit-reproducible across any worker count (extraction rngs are split
+  per step, not per worker).
 """
 
 from __future__ import annotations
@@ -34,7 +35,7 @@ from repro.data.dataset import InteractionDataset
 from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
 from repro.graph.subgraph import validate_fanout
 from repro.nn.losses import bpr_loss, l2_regularization, pairwise_hinge_loss
-from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.optim import SGD, Adam, clip_grad_norm, shard_param_groups
 from repro.nn.schedulers import ExponentialDecay
 from repro.train.callbacks import EarlyStopping, HistoryRecorder
 from repro.train.pipeline import SampledBatchPipeline
@@ -84,8 +85,9 @@ class TrainConfig:
     #: setting anything else here overrides the model for this run
     fanout: int | None | tuple[int | None, ...] | str = "model"
     #: background extraction threads for ``propagation="async"``; ``0``
-    #: runs the same pipeline inline (identical rng streams to 1 worker —
-    #: the loss-trajectory reference). Reproducible at a fixed count.
+    #: runs the same pipeline inline. Extraction rngs are split per *step*,
+    #: so training traces are bit-reproducible across any worker count —
+    #: workers only changes how much extraction overlaps compute
     workers: int = 1
     #: per-worker block buffer depth for the async pipeline; 2 =
     #: double-buffering (one block consumed, one ready, one in flight)
@@ -93,6 +95,17 @@ class TrainConfig:
     #: global-norm gradient clipping threshold (``None`` → no clipping);
     #: sparse-grad aware — row-sparse grads are scaled without densifying
     grad_clip: float | None = None
+    #: optimizer family: "adam" (the paper's choice, default) or "sgd" —
+    #: the latter is the reference for the sharded-table bit-parity
+    #: contract (`shards=K` must match `shards=1` exactly under SGD)
+    optimizer: str = "adam"
+    #: build the optimizer from per-shard parameter groups
+    #: (:func:`repro.nn.optim.shard_param_groups`) instead of the flat
+    #: parameter list. Updates are bit-identical; the groups make
+    #: optimizer state attributable per shard and enable per-shard
+    #: ``step(shard=k)`` application. Set this when training a model built
+    #: with sharded tables (``GNMRConfig.shards`` / model ``shards=``)
+    shards: int | None = None
     #: run ``eval_fn`` every this many epochs (the final epoch always
     #: evaluates so the history ends with a metric)
     eval_every: int = 1
@@ -100,6 +113,11 @@ class TrainConfig:
     def __post_init__(self):
         if self.fanout != "model":
             validate_fanout(self.fanout)
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r} "
+                             "(use 'adam' or 'sgd')")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1 (or None)")
 
     def fanout_kwargs(self) -> dict:
         """``{"fanout": ...}`` for the model calls, or ``{}`` to defer.
@@ -236,9 +254,18 @@ class Trainer:
             batch.users, batch.pos_items, batch.neg_items, cfg.l2_weight)
         return pos_scores, neg_scores, reg
 
+    def _make_optimizer(self):
+        """The configured optimizer, grouped per shard when requested."""
+        cfg = self.config
+        params = (shard_param_groups(self.model) if cfg.shards is not None
+                  else self.model.parameters())
+        if cfg.optimizer == "sgd":
+            return SGD(params, lr=cfg.lr)
+        return Adam(params, lr=cfg.lr)
+
     def _run_epochs(self, pipeline: SampledBatchPipeline | None) -> HistoryRecorder:
         cfg = self.config
-        optimizer = Adam(self.model.parameters(), lr=cfg.lr)
+        optimizer = self._make_optimizer()
         scheduler = ExponentialDecay(optimizer, rate=cfg.lr_decay)
         stopper = (EarlyStopping(patience=cfg.early_stopping_patience)
                    if cfg.early_stopping_patience else None)

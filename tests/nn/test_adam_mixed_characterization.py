@@ -1,0 +1,190 @@
+"""Characterization of the mixed dense/sparse Adam approximation.
+
+ROADMAP item: when one parameter sees both dense and sparse gradients,
+the lazy per-row path is *approximate* — per-row step counters start from
+the global step at the first sparse touch, and rows skipped by a sparse
+step keep undecayed moments, whereas exact interop would need per-row
+timestamps on the dense path as well. These tests pin the current
+semantics so future work on exact interop has a regression anchor:
+
+* the counter-initialization rule is asserted literally;
+* a mirror implementation of the documented update rule must match the
+  optimizer bit for bit (the characterization anchor — any semantic
+  change breaks this test before it breaks training);
+* the deviation from a pure-dense Adam reference on a mixed schedule is
+  bounded by an explicit tolerance band: small (the approximation is
+  benign at these scales) but nonzero (it *is* an approximation).
+"""
+
+import numpy as np
+
+from repro.nn import Adam, Parameter
+from repro.tensor import RowSparseGrad
+
+SHAPE = (6, 3)
+LR = 0.05
+
+
+def _dense_from(rows, values, num_rows=SHAPE[0]):
+    grad = np.zeros((num_rows,) + np.asarray(values).shape[1:])
+    np.add.at(grad, rows, values)
+    return grad
+
+
+class MirrorAdam:
+    """Reimplementation of the documented mixed dense/sparse semantics.
+
+    Independent of the optimizer's code: global step count for dense
+    updates, per-row counts for sparse ones, counters seeded from the
+    global step at first sparse touch, moments frozen on skipped rows.
+    """
+
+    def __init__(self, data, lr=LR, betas=(0.9, 0.999), eps=1e-8):
+        self.data = data.copy()
+        self.m = np.zeros_like(data)
+        self.v = np.zeros_like(data)
+        self.t = 0
+        self.counts = None
+        self.lr, (self.b1, self.b2), self.eps = lr, betas, eps
+
+    def dense_step(self, grad):
+        self.t += 1
+        if self.counts is not None:
+            self.counts += 1
+        self.m = self.b1 * self.m + (1 - self.b1) * grad
+        self.v = self.b2 * self.v + (1 - self.b2) * grad**2
+        m_hat = self.m / (1 - self.b1**self.t)
+        v_hat = self.v / (1 - self.b2**self.t)
+        self.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def sparse_step(self, rows, values):
+        self.t += 1
+        if self.counts is None:
+            # THE characterized rule: first sparse touch seeds every row's
+            # counter from the global step so far
+            self.counts = np.full(self.data.shape[0], self.t - 1,
+                                  dtype=np.int64)
+        self.counts[rows] += 1
+        self.m[rows] = self.b1 * self.m[rows] + (1 - self.b1) * values
+        self.v[rows] = self.b2 * self.v[rows] + (1 - self.b2) * values**2
+        t_rows = self.counts[rows].astype(self.data.dtype)[:, None]
+        m_hat = self.m[rows] / (1 - self.b1**t_rows)
+        v_hat = self.v[rows] / (1 - self.b2**t_rows)
+        self.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def _mixed_schedule(seed=0, steps=12):
+    """A reproducible dense/sparse interleaving with partial row touches."""
+    rng = np.random.default_rng(seed)
+    schedule = []
+    for step in range(steps):
+        if step < 3 or step % 3 == 0:
+            schedule.append(("dense", rng.standard_normal(SHAPE)))
+        else:
+            rows = np.sort(rng.choice(SHAPE[0], size=3, replace=False))
+            schedule.append(("sparse", (rows, rng.standard_normal((3, 3)))))
+    return schedule
+
+
+def _run_optimizer(schedule):
+    p = Parameter(np.zeros(SHAPE))
+    opt = Adam([p], lr=LR)
+    for kind, payload in schedule:
+        if kind == "dense":
+            p.grad = payload.copy()
+        else:
+            rows, values = payload
+            p.grad = RowSparseGrad(rows, values.copy(), SHAPE[0])
+        opt.step()
+    return p, opt
+
+
+class TestCounterSeeding:
+    def test_first_sparse_touch_seeds_from_global_step(self):
+        p = Parameter(np.zeros(SHAPE))
+        opt = Adam([p], lr=LR)
+        for _ in range(4):  # 4 dense steps advance the global clock
+            p.grad = np.ones(SHAPE)
+            opt.step()
+        p.grad = RowSparseGrad([1, 3], np.ones((2, 3)), SHAPE[0])
+        opt.step()
+        counts = opt._row_steps[0]
+        # touched rows: global step 4 + their own touch; others: global 4
+        assert counts.tolist() == [4, 5, 4, 5, 4, 4]
+
+    def test_dense_steps_advance_all_row_counters(self):
+        p = Parameter(np.zeros(SHAPE))
+        opt = Adam([p], lr=LR)
+        p.grad = RowSparseGrad([0], np.ones((1, 3)), SHAPE[0])
+        opt.step()
+        p.grad = np.ones(SHAPE)
+        opt.step()
+        assert opt._row_steps[0].tolist() == [2, 1, 1, 1, 1, 1]
+
+
+class TestCharacterizationAnchor:
+    def test_mirror_implementation_matches_bitwise(self):
+        """Any change to the mixed semantics must break this first."""
+        schedule = _mixed_schedule()
+        p, _ = _run_optimizer(schedule)
+        mirror = MirrorAdam(np.zeros(SHAPE))
+        for kind, payload in schedule:
+            if kind == "dense":
+                mirror.dense_step(payload)
+            else:
+                rows, values = payload
+                mirror.sparse_step(rows, values)
+        np.testing.assert_array_equal(p.data, mirror.data)
+
+    def test_all_rows_sparse_step_matches_dense_exactly(self):
+        """Full-row sparse touches are NOT approximate: dense equivalence
+        is exact when every row appears in every sparse step."""
+        rng = np.random.default_rng(1)
+        grads = [rng.standard_normal(SHAPE) for _ in range(6)]
+        p_dense = Parameter(np.zeros(SHAPE))
+        opt_dense = Adam([p_dense], lr=LR)
+        p_sparse = Parameter(np.zeros(SHAPE))
+        opt_sparse = Adam([p_sparse], lr=LR)
+        all_rows = np.arange(SHAPE[0])
+        for step, grad in enumerate(grads):
+            p_dense.grad = grad.copy()
+            opt_dense.step()
+            if step < 2:  # dense prefix on both sides
+                p_sparse.grad = grad.copy()
+            else:         # then sparse steps touching every row
+                p_sparse.grad = RowSparseGrad(all_rows, grad.copy(), SHAPE[0])
+            opt_sparse.step()
+        np.testing.assert_allclose(p_sparse.data, p_dense.data,
+                                   rtol=1e-12, atol=1e-15)
+
+
+class TestApproximationBand:
+    def test_partial_touch_deviation_is_bounded_and_nonzero(self):
+        """The documented tolerance band for the approximation.
+
+        Versus a pure-dense Adam fed the densified versions of the same
+        gradients, the mixed schedule drifts because (a) rows a sparse
+        step skips are *not* updated at all (lazy semantics — the dense
+        reference still moves them on its zero-padded gradient via decayed
+        momentum), (b) skipped rows keep undecayed moments, and (c) bias
+        corrections use per-row counts. Current measured deviation on
+        this pinned schedule: 0.1145 after 12 steps of lr=0.05, i.e.
+        ~2.3 lr units, dominated by the momentum the dense reference
+        applies to skipped rows. The band below (4 lr units) is the
+        regression anchor.
+        """
+        schedule = _mixed_schedule()
+        p_mixed, _ = _run_optimizer(schedule)
+        reference = MirrorAdam(np.zeros(SHAPE))
+        for kind, payload in schedule:
+            if kind == "dense":
+                reference.dense_step(payload)
+            else:
+                rows, values = payload
+                reference.dense_step(_dense_from(rows, values))
+        deviation = np.max(np.abs(p_mixed.data - reference.data))
+        assert deviation > 0.0, "mixed path unexpectedly exact now — " \
+            "update the characterization (and the ROADMAP item)"
+        assert deviation < 4.0 * LR, (
+            f"mixed dense/sparse Adam drifted beyond the documented band: "
+            f"{deviation:.4f} >= {4.0 * LR}")

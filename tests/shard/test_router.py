@@ -1,0 +1,114 @@
+"""GradRouter: split/merge round-trips and parameter-server apply."""
+
+import numpy as np
+import pytest
+
+from repro.shard import GradRouter, ShardSpec, ShardedEmbedding
+from repro.tensor import RowSparseGrad
+
+
+def _sparse_grad(num_rows=20, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = np.array([3, 7, 3, 19, 11])
+    return RowSparseGrad(rows, rng.standard_normal((rows.size, 2)), num_rows)
+
+
+@pytest.mark.parametrize("strategy", ["range", "hash"])
+class TestSplitMerge:
+    def test_sparse_roundtrip_bit_exact(self, strategy):
+        router = GradRouter(ShardSpec(20, 3, strategy))
+        grad = _sparse_grad()
+        merged = router.merge(router.split(grad))
+        assert isinstance(merged, RowSparseGrad)
+        np.testing.assert_array_equal(merged.to_dense(), grad.to_dense())
+
+    def test_dense_roundtrip_bit_exact(self, strategy):
+        router = GradRouter(ShardSpec(20, 3, strategy))
+        dense = np.random.default_rng(1).standard_normal((20, 2))
+        parts = router.split(dense)
+        assert set(parts) == {0, 1, 2}  # dense: every shard present
+        np.testing.assert_array_equal(router.merge(parts), dense)
+
+    def test_split_is_shard_local(self, strategy):
+        spec = ShardSpec(20, 3, strategy)
+        router = GradRouter(spec)
+        for k, piece in router.split(_sparse_grad()).items():
+            assert piece.num_rows == spec.shard_rows(k).size
+            assert piece.indices.max() < piece.num_rows
+
+    def test_split_skips_untouched_shards(self, strategy):
+        spec = ShardSpec(30, 10, strategy)
+        grad = RowSparseGrad([0], np.ones((1, 2)), 30)
+        parts = GradRouter(spec).split(grad)
+        assert list(parts) == [int(spec.shard_of([0])[0])]
+
+
+class TestEdges:
+    def test_shape_mismatch_rejected(self):
+        router = GradRouter(ShardSpec(20, 2))
+        with pytest.raises(ValueError):
+            router.split(RowSparseGrad([0], np.ones((1, 2)), 19))
+        with pytest.raises(ValueError):
+            router.split(np.zeros((19, 2)))
+
+    def test_merge_empty_parts(self):
+        merged = GradRouter(ShardSpec(20, 2)).merge({})
+        assert isinstance(merged, RowSparseGrad)
+        assert merged.nnz_rows == 0
+        assert merged.num_rows == 20
+
+    def test_merge_mixed_sparse_dense_densifies(self):
+        spec = ShardSpec(10, 2, "range")
+        router = GradRouter(spec)
+        sparse_piece = RowSparseGrad([1], np.full((1, 2), 3.0), 5)
+        dense_piece = np.full((5, 2), 2.0)
+        merged = router.merge({0: sparse_piece, 1: dense_piece})
+        assert isinstance(merged, np.ndarray)
+        expected = np.zeros((10, 2))
+        expected[1] = 3.0
+        expected[5:] = 2.0
+        np.testing.assert_array_equal(merged, expected)
+
+
+class TestApply:
+    @pytest.mark.parametrize("strategy", ["range", "hash"])
+    def test_apply_routes_to_shard_grads(self, strategy):
+        w = np.random.default_rng(2).standard_normal((20, 2))
+        emb = ShardedEmbedding(w, num_shards=3, strategy=strategy)
+        router = GradRouter(emb.spec)
+        grad = _sparse_grad()
+        router.apply(emb, grad)
+        merged = router.merge(
+            {k: p.grad for k, p in enumerate(emb.shards)
+             if p.grad is not None})
+        np.testing.assert_array_equal(merged.to_dense(), grad.to_dense())
+
+    def test_apply_accumulates(self):
+        emb = ShardedEmbedding(np.zeros((20, 2)), num_shards=2)
+        router = GradRouter(emb.spec)
+        grad = RowSparseGrad([0], np.ones((1, 2)), 20)
+        router.apply(emb, grad)
+        router.apply(emb, grad)
+        assert emb.shards[0].grad.values[0][0] == 2.0
+
+    def test_apply_spec_mismatch_rejected(self):
+        emb = ShardedEmbedding(np.zeros((20, 2)), num_shards=2)
+        router = GradRouter(ShardSpec(20, 2, "hash"))
+        with pytest.raises(ValueError):
+            router.apply(emb, _sparse_grad())
+
+    def test_optimizer_consumes_routed_grads(self):
+        """The parameter-server loop: route a wire grad, step shard-locally."""
+        from repro.nn import SGD, shard_param_groups
+
+        w = np.random.default_rng(3).standard_normal((20, 2))
+        plain = w.copy()
+        emb = ShardedEmbedding(w, num_shards=4, strategy="hash")
+        router = GradRouter(emb.spec)
+        grad = _sparse_grad()
+        router.apply(emb, grad)
+        opt = SGD(shard_param_groups(emb.parameters()), lr=0.1)
+        for shard in opt.shards():  # each "server" steps its own rows
+            opt.step(shard=shard)
+        np.testing.assert_array_equal(emb.dense_table(),
+                                      plain - 0.1 * grad.to_dense())

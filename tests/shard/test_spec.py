@@ -1,0 +1,116 @@
+"""ShardSpec: partition arithmetic, routing, assembly round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.shard import ShardSpec, STRATEGIES
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            ShardSpec(-1, 1)
+        with pytest.raises(ValueError):
+            ShardSpec(10, 0)
+        with pytest.raises(ValueError):
+            ShardSpec(3, 5)  # more shards than rows
+        with pytest.raises(ValueError):
+            ShardSpec(10, 2, strategy="roundrobin")
+
+    def test_row_range_checked(self):
+        spec = ShardSpec(10, 2)
+        with pytest.raises(IndexError):
+            spec.shard_of([10])
+        with pytest.raises(IndexError):
+            spec.local_of([-1])
+        with pytest.raises(IndexError):
+            spec.shard_rows(2)
+        with pytest.raises(IndexError):
+            spec.shard_rows(-1)
+
+    def test_equality_and_hash(self):
+        assert ShardSpec(10, 2) == ShardSpec(10, 2)
+        assert ShardSpec(10, 2) != ShardSpec(10, 2, "hash")
+        assert ShardSpec(10, 2) != ShardSpec(11, 2)
+        assert hash(ShardSpec(10, 2)) == hash(ShardSpec(10, 2))
+        assert ShardSpec(10, 2) != object()
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestPartition:
+    def test_rows_partition_exactly(self, strategy):
+        spec = ShardSpec(23, 5, strategy)
+        owned = np.concatenate([spec.shard_rows(k) for k in range(5)])
+        assert sorted(owned.tolist()) == list(range(23))
+        assert sum(spec.shard_sizes()) == 23
+        # balanced: sizes differ by at most one
+        sizes = spec.shard_sizes()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shard_rows_ascending(self, strategy):
+        spec = ShardSpec(17, 4, strategy)
+        for k in range(4):
+            rows = spec.shard_rows(k)
+            assert (np.diff(rows) > 0).all()
+
+    def test_local_of_inverts_shard_rows(self, strategy):
+        spec = ShardSpec(29, 3, strategy)
+        rows = np.arange(29)
+        shards = spec.shard_of(rows)
+        local = spec.local_of(rows)
+        for r, k, lo in zip(rows, shards, local):
+            assert spec.shard_rows(k)[lo] == r
+
+    def test_single_shard_is_identity(self, strategy):
+        spec = ShardSpec(8, 1, strategy)
+        np.testing.assert_array_equal(spec.shard_of(np.arange(8)), 0)
+        np.testing.assert_array_equal(spec.local_of(np.arange(8)),
+                                      np.arange(8))
+
+    def test_split_routes_with_positions(self, strategy):
+        spec = ShardSpec(12, 3, strategy)
+        batch = np.array([11, 0, 5, 5, 7, 2])  # duplicates stay duplicated
+        routed = spec.split(batch)
+        covered = np.zeros(batch.size, dtype=bool)
+        for k, local, positions in routed:
+            np.testing.assert_array_equal(spec.shard_rows(k)[local],
+                                          batch[positions])
+            assert not covered[positions].any()
+            covered[positions] = True
+        assert covered.all()
+
+    def test_assemble_roundtrip(self, strategy):
+        rng = np.random.default_rng(0)
+        table = rng.standard_normal((19, 3))
+        spec = ShardSpec(19, 4, strategy)
+        parts = [table[spec.shard_rows(k)] for k in range(4)]
+        np.testing.assert_array_equal(spec.assemble(parts), table)
+
+    def test_assemble_validates(self, strategy):
+        spec = ShardSpec(10, 2, strategy)
+        with pytest.raises(ValueError):
+            spec.assemble([np.zeros((5, 2))])  # wrong part count
+        with pytest.raises(ValueError):
+            spec.assemble([np.zeros((4, 2)), np.zeros((6, 2))])
+
+
+class TestStrategies:
+    def test_range_is_contiguous(self):
+        spec = ShardSpec(10, 3, "range")
+        assert spec.shard_rows(0).tolist() == [0, 1, 2, 3]
+        assert spec.shard_rows(1).tolist() == [4, 5, 6]
+        assert spec.shard_rows(2).tolist() == [7, 8, 9]
+
+    def test_hash_is_modulo(self):
+        spec = ShardSpec(10, 3, "hash")
+        assert spec.shard_rows(0).tolist() == [0, 3, 6, 9]
+        assert spec.shard_rows(1).tolist() == [1, 4, 7]
+        np.testing.assert_array_equal(spec.shard_of([0, 1, 2, 3]),
+                                      [0, 1, 2, 0])
+
+    def test_hash_balances_prefix_load(self):
+        # the reason hash exists: the "hot" low ids spread across shards
+        spec = ShardSpec(100, 4, "hash")
+        hot = np.arange(20)  # a skewed workload hitting low ids only
+        counts = np.bincount(spec.shard_of(hot), minlength=4)
+        assert counts.tolist() == [5, 5, 5, 5]

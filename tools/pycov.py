@@ -1,0 +1,295 @@
+"""Zero-dependency line-coverage runner + ratchet gate for the tier-1 suite.
+
+Runs pytest in-process under a line tracer restricted to ``src/repro``,
+computes per-file / per-package / total line coverage against an
+AST-derived executable-line set, writes ``tools/coverage_report.json``,
+and exits non-zero when coverage falls below the committed floors in
+``tools/coverage_floor.json``.
+
+Why not coverage.py: the development container (and any fresh clone) must
+be able to run the gate with nothing but the standard library, and the
+committed floor only means something if local runs and CI measure with the
+*same* tool. On Python ≥ 3.12 the tracer uses ``sys.monitoring`` (PEP 669;
+each (code, line) location fires once and is then disabled, so overhead is
+near zero); older interpreters fall back to ``sys.settrace``.
+
+Executable lines are the statement start lines from the AST, minus:
+
+* module / class / function docstrings,
+* any statement whose header line carries ``pragma: no cover`` (the whole
+  statement span is excluded, matching how the repo already annotates),
+* ``if __name__ == "__main__":`` blocks.
+
+Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python tools/pycov.py -q        # args go to pytest
+    python tools/pycov.py --report-only            # re-gate a saved report
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO / "src" / "repro"
+REPORT_PATH = REPO / "tools" / "coverage_report.json"
+FLOOR_PATH = REPO / "tools" / "coverage_floor.json"
+
+
+# ----------------------------------------------------------------------
+# executable-line analysis
+# ----------------------------------------------------------------------
+
+def _node_span(node: ast.stmt) -> range:
+    return range(node.lineno, (node.end_lineno or node.lineno) + 1)
+
+
+def _is_main_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    names = [n.id for n in ast.walk(test)
+             if isinstance(n, ast.Name)]
+    return "__name__" in names
+
+
+def executable_lines(path: Path) -> set[int]:
+    """Statement start lines that a fully-exercised run should hit."""
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    pragma_lines = {i + 1 for i, line in enumerate(source.splitlines())
+                    if "pragma: no cover" in line}
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            lines.add(node.lineno)
+
+    def discard_span(span: range) -> None:
+        for lineno in span:
+            lines.discard(lineno)
+
+    for node in ast.walk(tree):
+        # docstrings parse as a leading constant-string Expr; not traced
+        if isinstance(node, (ast.Module, ast.ClassDef, ast.FunctionDef,
+                             ast.AsyncFunctionDef)):
+            body = node.body
+            if (body and isinstance(body[0], ast.Expr)
+                    and isinstance(body[0].value, ast.Constant)
+                    and isinstance(body[0].value.value, str)):
+                discard_span(_node_span(body[0]))
+        if isinstance(node, ast.stmt) and (node.lineno in pragma_lines
+                                           or _is_main_guard(node)):
+            discard_span(_node_span(node))
+    return lines
+
+
+def source_files() -> list[Path]:
+    return sorted(SRC_ROOT.rglob("*.py"))
+
+
+# ----------------------------------------------------------------------
+# tracers
+# ----------------------------------------------------------------------
+
+class Tracer:
+    """Collects covered line numbers per absolute source path."""
+
+    def __init__(self):
+        self.covered: dict[str, set[int]] = defaultdict(set)
+        self._resolved: dict[str, str | None] = {}
+        self._prefix = str(SRC_ROOT) + os.sep
+
+    def _target(self, co_filename: str) -> str | None:
+        """Absolute path if the frame belongs to src/repro, else None."""
+        cached = self._resolved.get(co_filename, False)
+        if cached is not False:
+            return cached
+        path = os.path.abspath(co_filename)
+        target = path if (path.startswith(self._prefix)
+                          or path == str(SRC_ROOT)) else None
+        self._resolved[co_filename] = target
+        return target
+
+    # ---------------------------------------------------- sys.monitoring
+    def start_monitoring(self) -> None:  # pragma: no cover - 3.12+ only
+        mon = sys.monitoring
+        mon.use_tool_id(mon.COVERAGE_ID, "pycov")
+
+        def on_line(code, line_number):
+            target = self._target(code.co_filename)
+            if target is not None:
+                self.covered[target].add(line_number)
+            # each (code, line) location only needs to fire once
+            return mon.DISABLE
+
+        mon.register_callback(mon.COVERAGE_ID, mon.events.LINE, on_line)
+        mon.set_events(mon.COVERAGE_ID, mon.events.LINE)
+
+    def stop_monitoring(self) -> None:  # pragma: no cover - 3.12+ only
+        mon = sys.monitoring
+        mon.set_events(mon.COVERAGE_ID, 0)
+        mon.register_callback(mon.COVERAGE_ID, mon.events.LINE, None)
+        mon.free_tool_id(mon.COVERAGE_ID)
+
+    # ------------------------------------------------------- sys.settrace
+    def start_settrace(self) -> None:
+        import threading
+
+        def trace(frame, event, arg):
+            if event == "call":
+                if self._target(frame.f_code.co_filename) is None:
+                    return None  # never line-trace foreign frames
+                return trace
+            if event == "line":
+                target = self._target(frame.f_code.co_filename)
+                if target is not None:
+                    self.covered[target].add(frame.f_lineno)
+            return trace
+
+        threading.settrace(trace)
+        sys.settrace(trace)
+
+    def stop_settrace(self) -> None:
+        import threading
+
+        sys.settrace(None)
+        threading.settrace(None)
+
+    def start(self) -> None:
+        if hasattr(sys, "monitoring"):  # pragma: no cover - version split
+            self.start_monitoring()
+        else:  # pragma: no cover
+            self.start_settrace()
+
+    def stop(self) -> None:
+        if hasattr(sys, "monitoring"):  # pragma: no cover - version split
+            self.stop_monitoring()
+        else:  # pragma: no cover
+            self.stop_settrace()
+
+
+# ----------------------------------------------------------------------
+# report + gate
+# ----------------------------------------------------------------------
+
+def package_of(path: Path) -> str:
+    """Rollup key: ``repro/<subpackage>`` (or ``repro`` for top level)."""
+    rel = path.relative_to(SRC_ROOT)
+    if len(rel.parts) == 1:
+        return "repro"
+    return f"repro/{rel.parts[0]}"
+
+
+def build_report(covered: dict[str, set[int]]) -> dict:
+    files = {}
+    packages: dict[str, dict] = defaultdict(lambda: {"executable": 0,
+                                                     "covered": 0})
+    total_exec = total_cov = 0
+    for path in source_files():
+        lines = executable_lines(path)
+        hit = covered.get(str(path), set()) & lines
+        rel = str(path.relative_to(REPO))
+        files[rel] = {
+            "executable": len(lines),
+            "covered": len(hit),
+            "percent": round(100.0 * len(hit) / len(lines), 2) if lines else 100.0,
+            "missing": sorted(lines - hit),
+        }
+        pkg = packages[package_of(path)]
+        pkg["executable"] += len(lines)
+        pkg["covered"] += len(hit)
+        total_exec += len(lines)
+        total_cov += len(hit)
+    for pkg in packages.values():
+        pkg["percent"] = (round(100.0 * pkg["covered"] / pkg["executable"], 2)
+                          if pkg["executable"] else 100.0)
+    return {
+        "total": {
+            "executable": total_exec,
+            "covered": total_cov,
+            "percent": round(100.0 * total_cov / total_exec, 2)
+            if total_exec else 100.0,
+        },
+        "packages": dict(sorted(packages.items())),
+        "files": files,
+        "tracer": "sys.monitoring" if hasattr(sys, "monitoring")
+        else "sys.settrace",
+        "python": sys.version.split()[0],
+    }
+
+
+def gate(report: dict) -> int:
+    """Compare against the committed floors; 0 = pass."""
+    if not FLOOR_PATH.exists():
+        print(f"[warn] no committed floor at {FLOOR_PATH}; gate skipped")
+        return 0
+    floors = json.loads(FLOOR_PATH.read_text())
+    failures = []
+    total = report["total"]["percent"]
+    floor = float(floors.get("total", 0.0))
+    status = "PASS" if total >= floor else "FAIL"
+    print(f"[{status}] total coverage {total:.2f}% (floor {floor:.2f}%)")
+    if total < floor:
+        failures.append("total")
+    for name, pkg_floor in sorted(floors.get("packages", {}).items()):
+        pkg = report["packages"].get(name)
+        percent = pkg["percent"] if pkg else 0.0
+        status = "PASS" if percent >= float(pkg_floor) else "FAIL"
+        print(f"[{status}] {name} coverage {percent:.2f}% "
+              f"(floor {float(pkg_floor):.2f}%)")
+        if percent < float(pkg_floor):
+            failures.append(name)
+    if failures:
+        print(f"coverage gate FAILED: {', '.join(failures)}")
+        return 1
+    print("coverage gate OK")
+    return 0
+
+
+def print_summary(report: dict) -> None:
+    print("\npackage coverage:")
+    for name, pkg in report["packages"].items():
+        print(f"  {name:<22s} {pkg['percent']:6.2f}%  "
+              f"({pkg['covered']}/{pkg['executable']})")
+    total = report["total"]
+    print(f"  {'TOTAL':<22s} {total['percent']:6.2f}%  "
+          f"({total['covered']}/{total['executable']})")
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--report-only" in argv:
+        report = json.loads(REPORT_PATH.read_text())
+        print_summary(report)
+        return gate(report)
+
+    src_dir = str(REPO / "src")
+    if src_dir not in sys.path:
+        sys.path.insert(0, src_dir)
+
+    tracer = Tracer()
+    tracer.start()
+    try:
+        import pytest
+
+        exit_code = pytest.main(argv or ["-q"])
+    finally:
+        tracer.stop()
+    if exit_code != 0:
+        print(f"pytest failed (exit {exit_code}); coverage not gated")
+        return int(exit_code)
+
+    report = build_report(tracer.covered)
+    REPORT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {REPORT_PATH}")
+    print_summary(report)
+    return gate(report)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
