@@ -14,7 +14,18 @@ Compares a fresh benchmark run against the committed baselines and fails
   by more than the tolerance versus baseline. Both payloads carry a
   fixed-size reference matmul timing, so the comparison uses
   machine-normalized throughput (users/sec × reference seconds) when
-  available and raw users/sec otherwise.
+  available and raw users/sec otherwise. Throughput must also be
+  monotone-or-flat across serving batch sizes (``scaling.monotone_frac``
+  ≥ ``BENCH_MONO_MIN``): the retriever chunks selection internally, so a
+  larger request batch must never cost meaningful throughput — the
+  pre-PR-6 payloads showed batch 64 *beating* batch 1024 by ~2x, and this
+  is the guard against that anomaly returning.
+* ``serving_ann.json`` — the approximate-retrieval sweep must contain at
+  least one (nprobe × quant) configuration reaching recall@10 ≥
+  ``BENCH_ANN_RECALL_MIN`` at ≥ ``BENCH_ANN_SPEEDUP_MIN``× the exact
+  blocked path on the ≥100k-item workload. Recall and speedup are
+  measured against the same-machine exact run inside one payload, so no
+  cross-machine normalization is needed.
 * ``training_throughput.json`` — the sampled-propagation training step
   must stay ≥ 3× faster than the full-graph step on the large synthetic
   graph at batch 32 (the row-sparse mini-batch path's reason to exist),
@@ -36,7 +47,9 @@ Usage (what CI runs after regenerating the fresh payloads)::
 Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
 ``BENCH_FLOAT32_MIN`` (default 1.3), ``BENCH_FUSED_MIN`` (default 0.9),
 ``BENCH_SAMPLED_MIN`` (default 3.0), ``BENCH_ASYNC_MIN`` (default 1.3),
-``BENCH_SHARD_MAX`` (default 2.0).
+``BENCH_SHARD_MAX`` (default 2.0), ``BENCH_MONO_MIN`` (default 0.75),
+``BENCH_ANN_RECALL_MIN`` (default 0.95), ``BENCH_ANN_SPEEDUP_MIN``
+(default 3.0).
 """
 
 from __future__ import annotations
@@ -53,6 +66,9 @@ FUSED_MIN = float(os.environ.get("BENCH_FUSED_MIN", "0.9"))
 SAMPLED_MIN = float(os.environ.get("BENCH_SAMPLED_MIN", "3.0"))
 ASYNC_MIN = float(os.environ.get("BENCH_ASYNC_MIN", "1.3"))
 SHARD_MAX = float(os.environ.get("BENCH_SHARD_MAX", "2.0"))
+MONO_MIN = float(os.environ.get("BENCH_MONO_MIN", "0.75"))
+ANN_RECALL_MIN = float(os.environ.get("BENCH_ANN_RECALL_MIN", "0.95"))
+ANN_SPEEDUP_MIN = float(os.environ.get("BENCH_ANN_SPEEDUP_MIN", "3.0"))
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -159,6 +175,16 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
             gate.check(f"serving-batch-{batch}",
                        float(row["users_per_sec"]) > 0,
                        f"{row['users_per_sec']:,.0f} users/sec")
+        scaling = serving.get("scaling")
+        if scaling is None:
+            # payloads generated before PR 6 carry no scaling section
+            gate.skip("serving-batch-scaling", "payload has no scaling data")
+        else:
+            frac = float(scaling["monotone_frac"])
+            gate.check("serving-batch-scaling", frac >= MONO_MIN,
+                       f"worst consecutive batch-size ratio {frac:.2f} "
+                       f"(floor {MONO_MIN}; order "
+                       f"{scaling['batch_order']})")
         if serving_base is None:
             gate.skip("serving-vs-baseline", "no committed baseline")
         else:
@@ -174,6 +200,33 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
                 "serving-vs-baseline", fresh_value >= floor,
                 f"{fresh_value:,.2f} vs baseline {base_value:,.2f} "
                 f"({fresh_kind}; floor {floor:,.2f}, tol {TOLERANCE:.0%})")
+
+    # -------------------------------------------- approximate retrieval
+    ann = _load(fresh_dir, "serving_ann")
+    if ann is None:
+        gate.check("serving_ann", False, "fresh payload missing")
+    else:
+        num_items = int(ann["workload"]["num_items"])
+        gate.check("ann-workload-size", num_items >= 100_000,
+                   f"{num_items:,} items (floor 100,000)")
+        qualifying = [row for row in ann["sweep"]
+                      if float(row["recall_at_10"]) >= ANN_RECALL_MIN
+                      and float(row["speedup_vs_exact"]) >= ANN_SPEEDUP_MIN]
+        if qualifying:
+            best = max(qualifying,
+                       key=lambda row: float(row["speedup_vs_exact"]))
+            detail = (f"quant={best['quant']} nprobe={best['nprobe']}: "
+                      f"{float(best['speedup_vs_exact']):.2f}x at recall@10 "
+                      f"{float(best['recall_at_10']):.3f} (floors "
+                      f"{ANN_SPEEDUP_MIN}x / {ANN_RECALL_MIN})")
+        else:
+            sweep = ann["sweep"]
+            best_recall = max(float(r["recall_at_10"]) for r in sweep)
+            best_speed = max(float(r["speedup_vs_exact"]) for r in sweep)
+            detail = (f"no config reaches recall@10 >= {ANN_RECALL_MIN} at "
+                      f">= {ANN_SPEEDUP_MIN}x (best recall {best_recall:.3f}, "
+                      f"best speedup {best_speed:.2f}x)")
+        gate.check("ann-recall-speedup", bool(qualifying), detail)
 
     # -------------------------------------------------------- training
     training = _load(fresh_dir, "training_throughput")

@@ -196,10 +196,13 @@ def cmd_recommend(args) -> int:
         model.fit(split.train, scale.train_config(
             **({"dtype": dtype} if dtype else {})))
 
+    ann = {"nprobe": args.nprobe, "quant": args.quant,
+           "num_lists": args.num_lists, "shortlist_k": args.shortlist_k}
     service = RecommendationService(
         model, train=split.train, dtype=args.serve_dtype,
         batch_users=args.batch_users,
-        exclude=None if args.include_seen else "target")
+        exclude=None if args.include_seen else "target",
+        retriever=args.retriever, ann=ann)
     if args.user_ids:
         users = np.array([int(u) for u in args.user_ids.split(",")], dtype=np.int64)
         bad = users[(users < 0) | (users >= model.num_users)]
@@ -217,10 +220,17 @@ def cmd_recommend(args) -> int:
         "num_users": model.num_users,
         "num_items": model.num_items,
         "backend": "matrix" if service.store is not None else "brute-force",
+        "retriever": args.retriever,
         "snapshot_version": service.snapshot_version,
         "exclude_seen": not args.include_seen,
         "recommendations": result.to_payload(),
     }
+    if args.retriever == "ivf":
+        index = service.retriever.index
+        payload["ann"] = {"num_lists": int(index.num_lists),
+                          "nprobe": int(service.retriever.nprobe),
+                          "quant": index.quant,
+                          "shortlist_k": args.shortlist_k}
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -311,6 +321,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="users scored per retrieval block")
     p_rec.add_argument("--include-seen", action="store_true",
                        help="do not exclude already-interacted items")
+    p_rec.add_argument("--retriever", default="exact",
+                       choices=["exact", "ivf"],
+                       help="exact blocked full-catalog scan (default) or "
+                            "approximate IVF retrieval: k-means inverted "
+                            "lists + compressed-domain scoring + exact "
+                            "re-rank (repro.serve.ann)")
+    p_rec.add_argument("--nprobe", type=int, default=8,
+                       help="inverted lists probed per query with "
+                            "--retriever ivf (the recall dial)")
+    p_rec.add_argument("--quant", default="none",
+                       choices=["int8", "fp16", "none"],
+                       help="compressed-domain scoring precision for "
+                            "--retriever ivf (shortlists are always "
+                            "re-ranked in full precision)")
+    p_rec.add_argument("--num-lists", type=int, default=None,
+                       help="inverted lists in the IVF index "
+                            "(default: sqrt of the catalog size)")
+    p_rec.add_argument("--shortlist-k", type=int, default=None,
+                       help="candidates kept for exact re-ranking "
+                            "(default: max(4k, 50))")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
 
     for p in (p_stats, p_run, p_train, p_rec):

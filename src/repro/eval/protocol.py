@@ -78,7 +78,9 @@ def evaluate_ranking(scores: np.ndarray) -> EvaluationResult:
 def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
                           test_items: np.ndarray,
                           batch_users: int = 64,
-                          use_serving: bool = True) -> EvaluationResult:
+                          use_serving: bool = True,
+                          retriever: str = "exact",
+                          ann: dict | None = None) -> EvaluationResult:
     """Rank each held-out positive against the *entire* catalog.
 
     The sampled 99-negative protocol (the paper's) is cheap but noisy; this
@@ -98,6 +100,19 @@ def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
     use_serving:
         Allow the factored fast path (``False`` forces brute force, e.g.
         to cross-check the serving embeddings).
+    retriever:
+        ``"exact"`` (default) — exhaustive ranks, exactly as served by
+        the blocked scan. ``"ivf"`` — ranks through
+        :class:`~repro.serve.ann.ApproxRetriever` (requires a factored
+        model): each positive's rank is its position in the retrieved
+        top-``eval_k`` list, or ``num_items`` when the approximate
+        shortlist missed it, so metrics are exact at every cutoff
+        ``N ≤ eval_k`` given the retrieval and measure the *deployed*
+        approximate quality (recall loss included).
+    ann:
+        Options for ``retriever="ivf"``: ``nprobe``, ``quant``,
+        ``num_lists``, ``shortlist_k``, ``seed`` (index/search dials) and
+        ``eval_k`` (retrieval depth, default 100).
     """
     from repro.serve import ExclusionMask, ScorerBackend, backend_for
 
@@ -109,6 +124,13 @@ def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
     else:
         backend = ScorerBackend(model, num_items=num_items)
     seen = ExclusionMask.from_dataset(train, behaviors="target")
+    if retriever == "ivf":
+        return _evaluate_approx_ranking(backend, seen, test_users,
+                                        test_items, num_items,
+                                        batch_users, ann)
+    if retriever != "exact":
+        raise ValueError(f"unknown retriever {retriever!r}; "
+                         "expected 'exact' or 'ivf'")
     ranks = np.empty(test_users.size, dtype=np.int64)
     for start in range(0, test_users.size, batch_users):
         stop = min(start + batch_users, test_users.size)
@@ -123,6 +145,25 @@ def evaluate_full_ranking(model: Scorer, train, test_users: np.ndarray,
         better = np.sum(scores > positive_scores[:, None], axis=1)
         ties = np.sum(scores == positive_scores[:, None], axis=1) - 1
         ranks[start:stop] = better + np.maximum(ties, 0)
+    return EvaluationResult(ranks=ranks)
+
+
+def _evaluate_approx_ranking(backend, seen, test_users, test_items,
+                             num_items: int, batch_users: int,
+                             ann: dict | None) -> EvaluationResult:
+    """Positive ranks under truncated approximate retrieval."""
+    from repro.serve import ApproxRetriever
+
+    options = dict(ann or {})
+    eval_k = int(options.pop("eval_k", 100))
+    approx = ApproxRetriever(backend, exclude=seen,
+                             batch_users=batch_users, **options)
+    result = approx.retrieve(test_users, eval_k)
+    # rank = position of the held-out positive in the retrieved list;
+    # shortlist misses count as num_items (a miss at every cutoff)
+    ranks = np.full(test_users.size, num_items, dtype=np.int64)
+    hit_rows, hit_cols = np.nonzero(result.items == test_items[:, None])
+    ranks[hit_rows] = hit_cols
     return EvaluationResult(ranks=ranks)
 
 

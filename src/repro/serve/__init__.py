@@ -6,6 +6,11 @@ multi-order embeddings out of the propagation engine
 a blocked matmul and CSR exclusion masks (:class:`TopKRetriever`), and
 front it all with :class:`RecommendationService` —
 ``recommend(users, k)``, ``score_candidates``, warm/cold snapshot reload.
+For catalogs where the exact scan is too slow, :mod:`repro.serve.ann`
+provides the opt-in approximate path (:class:`IVFIndex` +
+:class:`ApproxRetriever`: coarse-quantized inverted lists, int8/fp16
+compressed-domain scoring, exact float re-rank) behind the same retriever
+interface — exact retrieval stays the default and the oracle.
 """
 
 from repro.serve.retriever import (
@@ -16,11 +21,14 @@ from repro.serve.retriever import (
     TopKRetriever,
     backend_for,
 )
+from repro.serve.ann import ApproxRetriever, IVFIndex
 from repro.serve.store import EmbeddingStore, model_version
 from repro.serve.service import RecommendationService
 
 __all__ = [
+    "ApproxRetriever",
     "ExclusionMask",
+    "IVFIndex",
     "MatrixBackend",
     "ScorerBackend",
     "TopKResult",

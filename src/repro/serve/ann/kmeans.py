@@ -1,0 +1,117 @@
+"""Seeded, deterministic k-means for the IVF coarse quantizer.
+
+Plain Lloyd iterations over numpy — no external clustering dependency.
+The distance computations are GEMM-shaped (``points @ centroids.T``
+dominates each iteration), fitting can run on a fixed-size subsample of
+the catalog (standard IVF practice: train the coarse quantizer on a
+sample, assign everything), and all randomness flows through one
+``np.random.default_rng(seed)`` stream, so the same inputs and seed
+always produce the same centroids and assignments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _assign(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
+    """Nearest centroid per point under squared L2 distance.
+
+    ``argmin ‖x - c‖²`` over centroids is ``argmin (‖c‖² - 2 x·c)`` — the
+    ``‖x‖²`` term is constant per point and dropped, which keeps the whole
+    assignment one GEMM plus one argmin.
+    """
+    affinity = points @ centroids.T
+    affinity *= 2.0
+    affinity -= np.einsum("kd,kd->k", centroids, centroids)[None, :]
+    return np.argmax(affinity, axis=1)
+
+
+def _update(points: np.ndarray, assign: np.ndarray,
+            num_clusters: int) -> tuple[np.ndarray, np.ndarray]:
+    """Mean of each cluster's points; counts ride along for empty handling."""
+    counts = np.bincount(assign, minlength=num_clusters)
+    sums = np.zeros((num_clusters, points.shape[1]), dtype=np.float64)
+    for d in range(points.shape[1]):  # bincount per dim beats np.add.at
+        sums[:, d] = np.bincount(assign, weights=points[:, d],
+                                 minlength=num_clusters)
+    denom = np.maximum(counts, 1).astype(np.float64)
+    return (sums / denom[:, None]).astype(points.dtype), counts
+
+
+def _reseed_empty(points: np.ndarray, centroids: np.ndarray,
+                  assign: np.ndarray, counts: np.ndarray) -> None:
+    """Move empty centroids onto the points worst served by their cluster.
+
+    Deterministic: empty clusters are filled in index order with the
+    currently farthest points (each stolen point is marked so it is never
+    used twice).
+    """
+    empty = np.flatnonzero(counts == 0)
+    if empty.size == 0:
+        return
+    deltas = points - centroids[assign]
+    distances = np.einsum("nd,nd->n", deltas, deltas)
+    for cluster in empty:
+        far = int(np.argmax(distances))
+        centroids[cluster] = points[far]
+        distances[far] = -np.inf
+
+
+def kmeans(points: np.ndarray, num_clusters: int, *, seed: int = 0,
+           iters: int = 15, train_sample: int | None = 16384,
+           ) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster ``points`` into ``num_clusters`` groups.
+
+    Parameters
+    ----------
+    points:
+        (N, D) matrix; compute runs in its floating dtype (float32 for
+        serving tables).
+    num_clusters:
+        Number of centroids; clamped to N.
+    seed:
+        Seeds centroid init (and the training subsample); fixed seed +
+        fixed inputs → bit-identical output on the same machine.
+    iters:
+        Maximum Lloyd iterations (stops early once assignments are stable).
+    train_sample:
+        Fit centroids on at most this many points (``None`` = all), then
+        assign every point once at the end — the IVF-standard shortcut
+        that keeps index builds cheap on large catalogs.
+
+    Returns
+    -------
+    (centroids, assignments):
+        (num_clusters, D) centroid matrix and (N,) cluster id per point.
+    """
+    points = np.asarray(points)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty (N, D) matrix")
+    num_points = points.shape[0]
+    num_clusters = int(num_clusters)
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    num_clusters = min(num_clusters, num_points)
+
+    rng = np.random.default_rng(seed)
+    if train_sample is not None and num_points > train_sample:
+        fit_points = points[np.sort(rng.choice(num_points, train_sample,
+                                               replace=False))]
+    else:
+        fit_points = points
+    centroids = fit_points[np.sort(rng.choice(fit_points.shape[0],
+                                              num_clusters, replace=False))].copy()
+
+    assign = _assign(fit_points, centroids)
+    for _ in range(max(int(iters), 1)):
+        centroids, counts = _update(fit_points, assign, num_clusters)
+        _reseed_empty(fit_points, centroids, assign, counts)
+        new_assign = _assign(fit_points, centroids)
+        if np.array_equal(new_assign, assign):
+            break
+        assign = new_assign
+
+    full_assign = (assign if fit_points is points
+                   else _assign(points, centroids))
+    return centroids, full_assign

@@ -46,6 +46,17 @@ class RecommendationService:
     auto_refresh:
         Warm-reload the snapshot automatically when the model's engine
         version moved (default on).
+    retriever:
+        ``"exact"`` (default) — blocked full-catalog scan; ``"ivf"`` —
+        approximate retrieval through an
+        :class:`~repro.serve.ann.IVFIndex` built over the snapshot's item
+        matrix (requires a factored model). The index follows the
+        snapshot lifecycle: a warm reload rebuilds it against the fresh
+        tables.
+    ann:
+        Options for ``retriever="ivf"``: ``nprobe`` (lists probed per
+        query, default 8), ``quant`` (``"none"``/``"fp16"``/``"int8"``),
+        ``num_lists``, ``shortlist_k``, ``seed``.
 
     Lifecycle: construction cold-loads (snapshot + exclusion mask +
     retriever); every ``recommend`` / ``score_candidates`` call first
@@ -69,7 +80,11 @@ class RecommendationService:
     def __init__(self, model, train=None, *, dtype="float32",
                  k_default: int = 10, batch_users: int = 256,
                  exclude: str | tuple | list | None = "target",
-                 auto_refresh: bool = True):
+                 auto_refresh: bool = True, retriever: str = "exact",
+                 ann: dict | None = None):
+        if retriever not in ("exact", "ivf"):
+            raise ValueError(f"unknown retriever {retriever!r}; "
+                             "expected 'exact' or 'ivf'")
         self.model = model
         self.train = train
         self.dtype = dtype
@@ -77,11 +92,38 @@ class RecommendationService:
         self.batch_users = int(batch_users)
         self.exclude_behaviors = exclude
         self.auto_refresh = auto_refresh
+        self.retriever_kind = retriever
+        self.ann_options = dict(ann or {})
         self._cold_load()
 
     # ------------------------------------------------------------------
     # snapshot lifecycle
     # ------------------------------------------------------------------
+    def _build_retriever(self):
+        """The retriever for the current snapshot (exact or IVF)."""
+        if self.retriever_kind == "ivf":
+            if self.store is None:
+                raise ValueError(
+                    "retriever='ivf' needs a factored model (serving "
+                    "embeddings); this model only supports exact "
+                    "brute-force retrieval")
+            from repro.serve.ann import ApproxRetriever
+
+            opts = self.ann_options
+            index = self.store.ann_index(
+                num_lists=opts.get("num_lists"),
+                quant=opts.get("quant", "none"),
+                seed=opts.get("seed", 0))
+            return ApproxRetriever(
+                self.store.backend(), index, exclude=self.exclusions,
+                batch_users=self.batch_users,
+                nprobe=opts.get("nprobe", 8),
+                shortlist_k=opts.get("shortlist_k"))
+        backend = (self.store.backend() if self.store is not None
+                   else ScorerBackend(self.model))
+        return TopKRetriever(backend, exclude=self.exclusions,
+                             batch_users=self.batch_users)
+
     def _cold_load(self) -> None:
         """Rebuild everything: snapshot, exclusion mask, retriever."""
         self.store = EmbeddingStore.snapshot(self.model, dtype=self.dtype)
@@ -90,10 +132,7 @@ class RecommendationService:
                 self.train, behaviors=self.exclude_behaviors)
         else:
             self.exclusions = None
-        backend = (self.store.backend() if self.store is not None
-                   else ScorerBackend(self.model))
-        self.retriever = TopKRetriever(backend, exclude=self.exclusions,
-                                       batch_users=self.batch_users)
+        self.retriever = self._build_retriever()
 
     def reload(self, cold: bool = False) -> bool:
         """Refresh the serving state from the model.
@@ -108,14 +147,28 @@ class RecommendationService:
             self._cold_load()
             return True
         changed = self.store.refresh(self.model, force=True)
-        self.retriever.backend = self.store.backend()
+        self._rewire_retriever()
         return changed
+
+    def _rewire_retriever(self) -> None:
+        """Point the retriever at the refreshed snapshot.
+
+        The exact retriever just swaps its backend; the IVF retriever is
+        rebuilt so its index follows the snapshot (``ann_index`` caches
+        per snapshot version, so an unchanged snapshot costs nothing).
+        """
+        if self.retriever_kind == "ivf":
+            self.retriever = self._build_retriever()
+        else:
+            self.retriever.backend = (self.store.backend()
+                                      if self.store is not None
+                                      else ScorerBackend(self.model))
 
     def _ensure_fresh(self) -> None:
         if (self.auto_refresh and self.store is not None
                 and self.store.is_stale(self.model)):
             self.store.refresh(self.model)
-            self.retriever.backend = self.store.backend()
+            self._rewire_retriever()
 
     @property
     def snapshot_version(self) -> int | None:

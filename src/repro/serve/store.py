@@ -65,6 +65,10 @@ class EmbeddingStore:
         self.user_matrix = user_matrix
         self.item_matrix = item_matrix
         self._backend: MatrixBackend | None = None
+        # ANN indexes are built over the item matrix, so every snapshot
+        # refresh (engine version bump) invalidates them; they rebuild
+        # lazily on the next ann_index call
+        self._ann_indexes: dict[tuple, object] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -137,6 +141,28 @@ class EmbeddingStore:
         if self._backend is None:
             self._backend = MatrixBackend(self.user_matrix, self.item_matrix)
         return self._backend
+
+    def ann_index(self, *, num_lists: int | None = None, quant: str = "none",
+                  seed: int = 0):
+        """The (cached) IVF index over this snapshot's item matrix.
+
+        Index builds are tied to the snapshot lifecycle: one index per
+        ``(num_lists, quant, seed)`` configuration is kept until the
+        snapshot's tables change (a :meth:`refresh` after an engine
+        version bump), at which point the cache is dropped and the next
+        call rebuilds against the new item matrix. K-means is seeded, so
+        an identical snapshot + configuration always yields an identical
+        index.
+        """
+        from repro.serve.ann import IVFIndex
+
+        key = (num_lists, quant, seed)
+        index = self._ann_indexes.get(key)
+        if index is None:
+            index = IVFIndex(self.item_matrix, num_lists=num_lists,
+                             quant=quant, seed=seed)
+            self._ann_indexes[key] = index
+        return index
 
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Pairwise snapshot scores for parallel (user, item) arrays."""

@@ -65,6 +65,46 @@ class TestFullRanking:
         np.testing.assert_array_equal(a.ranks, b.ranks)
 
 
+class TestApproxFullRanking:
+    """retriever="ivf": ranks through the approximate serving path."""
+
+    @pytest.fixture(scope="class")
+    def gnmr_split(self, small_taobao):
+        from repro.core import GNMR, GNMRConfig
+
+        split = leave_one_out_split(small_taobao)
+        return GNMR(split.train, GNMRConfig(pretrain=False, seed=0)), split
+
+    def test_exhaustive_matches_exact(self, gnmr_split):
+        model, split = gnmr_split
+        exact = evaluate_full_ranking(model, split.train, split.test_users,
+                                      split.test_items)
+        approx = evaluate_full_ranking(
+            model, split.train, split.test_users, split.test_items,
+            retriever="ivf",
+            ann={"nprobe": 10**9, "quant": "none",
+                 "eval_k": split.train.num_items})
+        np.testing.assert_array_equal(approx.ranks, exact.ranks)
+
+    def test_truncation_semantics(self, gnmr_split):
+        """Ranks land inside [0, eval_k) or at num_items (a miss)."""
+        model, split = gnmr_split
+        eval_k = 5
+        result = evaluate_full_ranking(
+            model, split.train, split.test_users, split.test_items,
+            retriever="ivf", ann={"nprobe": 2, "eval_k": eval_k})
+        inside = result.ranks < eval_k
+        assert np.all(inside | (result.ranks == split.train.num_items))
+        # metrics at cutoffs <= eval_k stay well-defined
+        assert 0.0 <= result.hr(eval_k) <= 1.0
+
+    def test_unknown_retriever_rejected(self, gnmr_split):
+        model, split = gnmr_split
+        with pytest.raises(ValueError, match="unknown retriever"):
+            evaluate_full_ranking(model, split.train, split.test_users,
+                                  split.test_items, retriever="lsh")
+
+
 class TestAUC:
     def test_perfect(self):
         assert auc(np.array([0, 0]), num_candidates=100) == 1.0

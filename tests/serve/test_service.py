@@ -79,6 +79,48 @@ class TestReload:
         assert service.retriever.exclude is service.exclusions
 
 
+class TestApproxServing:
+    def test_ivf_matches_exact_when_exhaustive(self, gnmr, split):
+        exact = RecommendationService(gnmr, train=split.train)
+        num_lists = exact.store.ann_index().num_lists
+        ivf = RecommendationService(gnmr, train=split.train,
+                                    retriever="ivf",
+                                    ann={"nprobe": num_lists})
+        users = np.arange(split.train.num_users)
+        a = ivf.recommend(users, k=10)
+        b = exact.recommend(users, k=10)
+        np.testing.assert_array_equal(a.items, b.items)
+
+    def test_ivf_excludes_training_positives(self, gnmr, split):
+        service = RecommendationService(gnmr, train=split.train,
+                                        retriever="ivf",
+                                        ann={"nprobe": 2, "quant": "int8"})
+        result = service.recommend(np.arange(split.train.num_users), k=10)
+        for row, user in enumerate(result.users):
+            seen = set(split.train.user_target_items(int(user)).tolist())
+            assert not (set(result.items[row].tolist()) & seen)
+
+    def test_ivf_index_follows_snapshot(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=6))
+        service = RecommendationService(model, train=split.train,
+                                        retriever="ivf")
+        index_before = service.retriever.index
+        model.user_embeddings.data *= -1.0
+        model.on_step_end()
+        service.recommend(np.array([0]), k=5)  # auto-refresh
+        assert service.retriever.index is not index_before
+        assert service.snapshot_version == model.engine.version
+
+    def test_ivf_needs_factored_model(self, split):
+        model = BiasMF(split.train.num_users, split.train.num_items, seed=0)
+        with pytest.raises(ValueError, match="factored"):
+            RecommendationService(model, train=split.train, retriever="ivf")
+
+    def test_unknown_retriever_rejected(self, gnmr, split):
+        with pytest.raises(ValueError, match="unknown retriever"):
+            RecommendationService(gnmr, train=split.train, retriever="hnsw")
+
+
 class TestRecommendTopK:
     def test_gnmr_api(self, gnmr, split):
         result = gnmr.recommend_topk(np.arange(6), k=3, train=split.train)

@@ -71,3 +71,32 @@ class TestInvalidation:
         store = EmbeddingStore.snapshot(model)
         assert store.refresh(model) is False
         assert store.refresh(model, force=True) is True
+
+
+class TestAnnIndexLifecycle:
+    def test_same_config_reuses_index(self, gnmr):
+        store = EmbeddingStore.snapshot(gnmr)
+        assert store.ann_index(quant="int8") is store.ann_index(quant="int8")
+
+    def test_distinct_configs_get_distinct_indexes(self, gnmr):
+        store = EmbeddingStore.snapshot(gnmr)
+        assert store.ann_index(quant="int8") is not store.ann_index()
+        assert store.ann_index(seed=1) is not store.ann_index(seed=0)
+
+    def test_refresh_invalidates_indexes(self, small_taobao):
+        model = GNMR(small_taobao, GNMRConfig(pretrain=False, seed=8))
+        store = EmbeddingStore.snapshot(model)
+        stale_index = store.ann_index()
+        model.item_embeddings.data += 0.5
+        model.on_step_end()
+        store.refresh(model)
+        fresh_index = store.ann_index()
+        assert fresh_index is not stale_index
+        np.testing.assert_array_equal(fresh_index.item_matrix,
+                                      store.item_matrix)
+
+    def test_index_covers_snapshot_catalog(self, gnmr):
+        store = EmbeddingStore.snapshot(gnmr)
+        index = store.ann_index(num_lists=4)
+        assert index.num_items == store.num_items
+        assert index.num_lists == 4
