@@ -26,6 +26,15 @@ Compares a fresh benchmark run against the committed baselines and fails
   blocked path on the ≥100k-item workload. Recall and speedup are
   measured against the same-machine exact run inside one payload, so no
   cross-machine normalization is needed.
+* ``http_serving.json`` — the online HTTP tier (``repro.serve.http``)
+  must sustain ≥ ``BENCH_HTTP_BATCH_MIN``× the single-client throughput
+  when ≥ 8 concurrent closed-loop clients hit the coalescing batcher
+  (that amortized catalog scan is the tier's reason to exist), every
+  configuration must report zero non-200 responses and positive p50/p99
+  latency, and every response body must bit-match a library-direct
+  ``RecommendationService`` call (the HTTP tier is a transport, not a
+  different answer). The speedup is a same-machine ratio inside one
+  payload, so no cross-machine normalization is needed.
 * ``training_throughput.json`` — the sampled-propagation training step
   must stay ≥ 3× faster than the full-graph step on the large synthetic
   graph at batch 32 (the row-sparse mini-batch path's reason to exist),
@@ -49,7 +58,7 @@ Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
 ``BENCH_SAMPLED_MIN`` (default 3.0), ``BENCH_ASYNC_MIN`` (default 1.3),
 ``BENCH_SHARD_MAX`` (default 2.0), ``BENCH_MONO_MIN`` (default 0.75),
 ``BENCH_ANN_RECALL_MIN`` (default 0.95), ``BENCH_ANN_SPEEDUP_MIN``
-(default 3.0).
+(default 3.0), ``BENCH_HTTP_BATCH_MIN`` (default 2.0).
 """
 
 from __future__ import annotations
@@ -69,6 +78,7 @@ SHARD_MAX = float(os.environ.get("BENCH_SHARD_MAX", "2.0"))
 MONO_MIN = float(os.environ.get("BENCH_MONO_MIN", "0.75"))
 ANN_RECALL_MIN = float(os.environ.get("BENCH_ANN_RECALL_MIN", "0.95"))
 ANN_SPEEDUP_MIN = float(os.environ.get("BENCH_ANN_SPEEDUP_MIN", "3.0"))
+HTTP_BATCH_MIN = float(os.environ.get("BENCH_HTTP_BATCH_MIN", "2.0"))
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -227,6 +237,39 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
                       f">= {ANN_SPEEDUP_MIN}x (best recall {best_recall:.3f}, "
                       f"best speedup {best_speed:.2f}x)")
         gate.check("ann-recall-speedup", bool(qualifying), detail)
+
+    # --------------------------------------------------- HTTP serving tier
+    http_serving = _load(fresh_dir, "http_serving")
+    http_base = _load_baseline(baseline_dir, "http_serving")
+    if http_serving is None:
+        gate.check("http_serving", False, "fresh payload missing")
+    else:
+        for name, config in http_serving["configs"].items():
+            gate.check(f"http-{name}-clean",
+                       int(config["errors"]) == 0 and bool(config["bit_match"]),
+                       f"errors={config['errors']} "
+                       f"bit_match={config['bit_match']}")
+            gate.check(f"http-{name}-latency",
+                       float(config["p50_ms"]) > 0
+                       and float(config["p99_ms"]) >= float(config["p50_ms"]),
+                       f"p50 {float(config['p50_ms']):.2f} ms / "
+                       f"p99 {float(config['p99_ms']):.2f} ms at "
+                       f"{float(config['users_per_sec']):,.0f} users/sec")
+        batched = http_serving["configs"]["exact_batched"]
+        gate.check("http-concurrency", int(batched["clients"]) >= 8,
+                   f"{batched['clients']} concurrent clients (floor 8)")
+        speedup = float(http_serving["batched_speedup_vs_single"])
+        gate.check("http-batched-speedup", speedup >= HTTP_BATCH_MIN,
+                   f"{speedup:.2f}x vs single-client baseline "
+                   f"(floor {HTTP_BATCH_MIN}x)")
+        if http_base is None:
+            gate.skip("http-speedup-vs-baseline", "no committed baseline")
+        else:
+            base = float(http_base["batched_speedup_vs_single"])
+            floor = base * (1.0 - TOLERANCE)
+            gate.check("http-speedup-vs-baseline", speedup >= floor,
+                       f"{speedup:.2f}x vs baseline {base:.2f}x "
+                       f"(floor {floor:.2f}x)")
 
     # -------------------------------------------------------- training
     training = _load(fresh_dir, "training_throughput")

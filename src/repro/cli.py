@@ -7,6 +7,7 @@ Examples::
     python -m repro.cli run fig2 --dataset movielens
     python -m repro.cli train --dataset taobao --model GNMR --epochs 20
     python -m repro.cli recommend --checkpoint m.npz --topk 10  # JSON top-K
+    python -m repro.cli serve --checkpoint m.npz --port 8080    # HTTP tier
     python -m repro.cli report                      # regenerate EXPERIMENTS.md
 """
 
@@ -155,12 +156,15 @@ def cmd_train(args) -> int:
     return 0
 
 
-def cmd_recommend(args) -> int:
-    """Serve top-K recommendations as JSON (stdout stays machine-readable)."""
-    import numpy as np
+def _rebuild_serving_model(args):
+    """Model + split for the serving commands (checkpoint or in-process).
 
+    Checkpoint metadata restores the model class, dataset, scale, dtype
+    and shard layout, so a serving process needs no training-side
+    configuration; without a checkpoint the model is trained in-process
+    at the requested scale. Returns ``(model, split, dataset, name)``.
+    """
     from repro.data import leave_one_out_split
-    from repro.serve import RecommendationService
     from repro.tensor import default_dtype
     from repro.utils import load_checkpoint, peek_checkpoint
 
@@ -195,14 +199,28 @@ def cmd_recommend(args) -> int:
     else:
         model.fit(split.train, scale.train_config(
             **({"dtype": dtype} if dtype else {})))
+    return model, split, dataset, model_name
+
+
+def _build_service(args, model, split):
+    """The RecommendationService behind ``recommend`` and ``serve``."""
+    from repro.serve import RecommendationService
 
     ann = {"nprobe": args.nprobe, "quant": args.quant,
            "num_lists": args.num_lists, "shortlist_k": args.shortlist_k}
-    service = RecommendationService(
+    return RecommendationService(
         model, train=split.train, dtype=args.serve_dtype,
-        batch_users=args.batch_users,
+        k_default=args.topk, batch_users=args.batch_users,
         exclude=None if args.include_seen else "target",
         retriever=args.retriever, ann=ann)
+
+
+def cmd_recommend(args) -> int:
+    """Serve top-K recommendations as JSON (stdout stays machine-readable)."""
+    import numpy as np
+
+    model, split, dataset, model_name = _rebuild_serving_model(args)
+    service = _build_service(args, model, split)
     if args.user_ids:
         users = np.array([int(u) for u in args.user_ids.split(",")], dtype=np.int64)
         bad = users[(users < 0) | (users >= model.num_users)]
@@ -232,6 +250,50 @@ def cmd_recommend(args) -> int:
                           "quant": index.quant,
                           "shortlist_k": args.shortlist_k}
     print(json.dumps(payload, indent=2))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-running HTTP recommendation service (repro.serve.http).
+
+    Prints one JSON readiness line (host, bound port, endpoints) once the
+    socket is listening — also written to ``--ready-file`` for process
+    supervisors — then blocks until SIGTERM/SIGINT, and shuts the
+    batcher, snapshot watcher, and socket down cleanly.
+    """
+    import signal
+    import threading
+    from pathlib import Path
+
+    from repro.serve.http import RecommendationHTTPServer
+
+    model, split, dataset, model_name = _rebuild_serving_model(args)
+    service = _build_service(args, model, split)
+    server = RecommendationHTTPServer(
+        service, host=args.host, port=args.port,
+        max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+        poll_interval_ms=args.poll_interval_ms)
+    server.start()
+    ready = {"serving": True, "host": args.host, "port": server.port,
+             "model": model_name, "dataset": dataset.name,
+             "retriever": args.retriever, "k_default": args.topk,
+             "max_batch": args.max_batch, "max_wait_ms": args.max_wait_ms,
+             "endpoints": ["/recommend", "/healthz", "/stats"]}
+    line = json.dumps(ready)
+    print(line, flush=True)
+    if args.ready_file:
+        Path(args.ready_file).write_text(line + "\n")
+    # tests drive cmd_serve from a worker thread, where signal handlers
+    # are unavailable — they stop it through an injected args.stop_event
+    stop = getattr(args, "stop_event", None) or threading.Event()
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        server.close()
+    print(json.dumps({"serving": False}), flush=True)
     return 0
 
 
@@ -296,54 +358,81 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["range", "hash"],
                          help="row partitioning: contiguous ranges or "
                               "modulo hashing (balances skewed ids)")
-    p_rec = sub.add_parser(
-        "recommend",
-        help="serve top-K recommendations as JSON (repro.serve)")
-    p_rec.add_argument("--checkpoint", default=None,
+    def add_serving_args(p) -> None:
+        """Flags shared by ``recommend`` and ``serve`` (one model, one
+        service — the commands differ only in how requests arrive)."""
+        p.add_argument("--checkpoint", default=None,
                        help="load a trained model from this .npz (its "
                             "metadata restores model/dataset/scale/dtype); "
                             "without it a model is trained in-process")
-    p_rec.add_argument("--model", default=None, choices=list(MODEL_NAMES))
-    p_rec.add_argument("--dataset", default=None,
+        p.add_argument("--model", default=None, choices=list(MODEL_NAMES))
+        p.add_argument("--dataset", default=None,
                        choices=["movielens", "yelp", "taobao"])
-    p_rec.add_argument("--dtype", default=None,
+        p.add_argument("--dtype", default=None,
                        choices=["float32", "float64"],
                        help="model compute precision (checkpoint metadata "
                             "wins when present)")
-    p_rec.add_argument("--serve-dtype", default="float32",
+        p.add_argument("--serve-dtype", default="float32",
                        choices=["float32", "float64"],
                        help="embedding snapshot precision for serving")
-    p_rec.add_argument("--topk", type=int, default=10,
+        p.add_argument("--topk", type=int, default=10,
                        help="recommendations per user")
-    p_rec.add_argument("--user-ids", default=None,
-                       help="comma-separated user ids (default: first 8)")
-    p_rec.add_argument("--batch-users", type=int, default=256,
+        p.add_argument("--batch-users", type=int, default=256,
                        help="users scored per retrieval block")
-    p_rec.add_argument("--include-seen", action="store_true",
+        p.add_argument("--include-seen", action="store_true",
                        help="do not exclude already-interacted items")
-    p_rec.add_argument("--retriever", default="exact",
+        p.add_argument("--retriever", default="exact",
                        choices=["exact", "ivf"],
                        help="exact blocked full-catalog scan (default) or "
                             "approximate IVF retrieval: k-means inverted "
                             "lists + compressed-domain scoring + exact "
                             "re-rank (repro.serve.ann)")
-    p_rec.add_argument("--nprobe", type=int, default=8,
+        p.add_argument("--nprobe", type=int, default=8,
                        help="inverted lists probed per query with "
                             "--retriever ivf (the recall dial)")
-    p_rec.add_argument("--quant", default="none",
+        p.add_argument("--quant", default="none",
                        choices=["int8", "fp16", "none"],
                        help="compressed-domain scoring precision for "
                             "--retriever ivf (shortlists are always "
                             "re-ranked in full precision)")
-    p_rec.add_argument("--num-lists", type=int, default=None,
+        p.add_argument("--num-lists", type=int, default=None,
                        help="inverted lists in the IVF index "
                             "(default: sqrt of the catalog size)")
-    p_rec.add_argument("--shortlist-k", type=int, default=None,
+        p.add_argument("--shortlist-k", type=int, default=None,
                        help="candidates kept for exact re-ranking "
                             "(default: max(4k, 50))")
+
+    p_rec = sub.add_parser(
+        "recommend",
+        help="serve top-K recommendations as JSON (repro.serve)")
+    add_serving_args(p_rec)
+    p_rec.add_argument("--user-ids", default=None,
+                       help="comma-separated user ids (default: first 8)")
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the long-running HTTP recommendation service "
+             "(repro.serve.http; see docs/operations.md)")
+    add_serving_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default loopback)")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="bind port (0 picks a free port; the "
+                              "readiness line reports the actual one)")
+    p_serve.add_argument("--max-batch", type=int, default=32,
+                         help="requests coalesced into one retrieval call "
+                              "(the throughput dial)")
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="max time a request waits for co-riders "
+                              "before its batch flushes (the latency dial)")
+    p_serve.add_argument("--poll-interval-ms", type=float, default=250.0,
+                         help="snapshot freshness check period of the "
+                              "hot-swap watcher thread")
+    p_serve.add_argument("--ready-file", default=None,
+                         help="also write the JSON readiness line here "
+                              "(for supervisors / smoke tests)")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
 
-    for p in (p_stats, p_run, p_train, p_rec):
+    for p in (p_stats, p_run, p_train, p_rec, p_serve):
         p.add_argument("--users", type=int, default=None)
         p.add_argument("--items", type=int, default=None)
         p.add_argument("--epochs", type=int, default=None)
@@ -353,7 +442,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"stats": cmd_stats, "run": cmd_run, "train": cmd_train,
-                "recommend": cmd_recommend, "report": cmd_report}
+                "recommend": cmd_recommend, "serve": cmd_serve,
+                "report": cmd_report}
     return handlers[args.command](args)
 
 

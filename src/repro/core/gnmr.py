@@ -422,6 +422,40 @@ class GNMR(Recommender):
 
         return self.engine.cached("gnmr.serving", compute)
 
+    def cold_user_embeddings(self, users: np.ndarray) -> np.ndarray:
+        """Serving rows for a few users, freshly extracted on demand.
+
+        Single-seed layered extraction (``fanout=None`` → the exact
+        backward neighborhood, no sampling) followed by the usual layer
+        stack computes just these users' multi-order rows from the
+        *current* parameters — matching the corresponding rows of
+        :meth:`serving_embeddings` after the next snapshot to within a
+        float64 ulp (the sliced-CSR hop kernels may sum a row in a
+        different order than the fused full-graph SpMM), at the cost of
+        one L-hop neighborhood instead of the whole graph. This is the
+        serving tier's cold-user path: users who entered the graph after
+        the last snapshot get a real embedding instead of waiting.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        block = self.engine.layered_subgraph(
+            users, np.empty(0, dtype=np.int64),
+            hops=self.config.num_layers, fanout=None)
+        was_training = self.training
+        if was_training:
+            self.eval()  # dropout must be off, matching cached inference
+        try:
+            with no_grad():
+                user_layers, _ = self.propagate_layered(block)
+        finally:
+            if was_training:
+                self.train()
+        rows = [h.data[block.localize_users(level, users)]
+                for level, h in enumerate(user_layers)]
+        matrix = np.concatenate(rows, axis=1)
+        if self.config.layer_combination == "mean":
+            matrix = matrix / (self.config.num_layers + 1)
+        return matrix
+
     def on_step_end(self) -> None:
         """Parameters changed — drop the cached propagation."""
         self.engine.invalidate()

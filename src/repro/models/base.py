@@ -180,6 +180,18 @@ class Recommender(Module):
         """
         return None
 
+    def cold_user_embeddings(self, users) -> np.ndarray | None:
+        """Fresh serving rows for a few users, or ``None`` if unsupported.
+
+        Graph models (GNMR, NGCF) override this with single-seed layered
+        extraction so the serving tier can embed users absent from the
+        current snapshot on demand instead of waiting for the next one.
+        The contract: the returned (U, D) rows match those users' rows in
+        :meth:`serving_embeddings` recomputed from the current parameters
+        to within a float64 ulp (same ranking).
+        """
+        return None
+
     def recommend_topk(self, users, k: int = 10, *, train=None,
                        exclude: str | tuple | list | None = "target",
                        batch_users: int = 256, dtype=None):

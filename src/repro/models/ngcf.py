@@ -245,5 +245,25 @@ class NGCF(Recommender):
         """The concatenated multi-layer tables already used by ``score``."""
         return self._tables()
 
+    def cold_user_embeddings(self, users: np.ndarray) -> np.ndarray:
+        """Serving rows for a few users, freshly extracted on demand.
+
+        The cold-user path for the serving tier: an exact backward
+        neighborhood (``fanout=None``) in the joint node space, the usual
+        bi-interaction stack, and the per-level seed rows concatenated —
+        matching those users' rows in :meth:`serving_embeddings`
+        recomputed from current parameters to within a float64 ulp.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        block = self.engine.layered_subgraph_nodes(
+            users, hops=self.num_layers, fanout=None)
+        with no_grad():
+            levels = self._bi_interaction_stack(
+                self._ego_rows(block.levels[0]),
+                lambda level, h: block.propagate(level, h),
+                lambda level, h: h.gather_rows(block.restrict(level + 1)))
+        return np.concatenate([h.data[block.localize(level, users)]
+                               for level, h in enumerate(levels)], axis=1)
+
     def on_step_end(self) -> None:
         self.engine.invalidate()

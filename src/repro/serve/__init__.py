@@ -10,7 +10,11 @@ For catalogs where the exact scan is too slow, :mod:`repro.serve.ann`
 provides the opt-in approximate path (:class:`IVFIndex` +
 :class:`ApproxRetriever`: coarse-quantized inverted lists, int8/fp16
 compressed-domain scoring, exact float re-rank) behind the same retriever
-interface — exact retrieval stays the default and the oracle.
+interface — exact retrieval stays the default and the oracle. The online
+tier lives in :mod:`repro.serve.http`: a stdlib HTTP server with a
+request-coalescing :class:`DynamicBatcher`, background hot snapshot
+swap, and an on-demand cold-user extraction path
+(:class:`RecommendationHTTPServer`, CLI ``repro.cli serve``).
 """
 
 from repro.serve.retriever import (
@@ -24,9 +28,15 @@ from repro.serve.retriever import (
 from repro.serve.ann import ApproxRetriever, IVFIndex
 from repro.serve.store import EmbeddingStore, model_version
 from repro.serve.service import RecommendationService
+from repro.serve.http import (
+    DynamicBatcher,
+    RecommendationHTTPServer,
+    ServerBusy,
+)
 
 __all__ = [
     "ApproxRetriever",
+    "DynamicBatcher",
     "ExclusionMask",
     "IVFIndex",
     "MatrixBackend",
@@ -37,4 +47,6 @@ __all__ = [
     "EmbeddingStore",
     "model_version",
     "RecommendationService",
+    "RecommendationHTTPServer",
+    "ServerBusy",
 ]

@@ -10,6 +10,8 @@ service warm-reloads the snapshot transparently on the next request.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.serve.retriever import (
@@ -94,6 +96,10 @@ class RecommendationService:
         self.auto_refresh = auto_refresh
         self.retriever_kind = retriever
         self.ann_options = dict(ann or {})
+        # Guards the snapshot lifecycle (reload / freshness check) against
+        # concurrent callers — the HTTP tier runs the freshness check on a
+        # background thread while request threads call ``recommend``.
+        self._lock = threading.RLock()
         self._cold_load()
 
     # ------------------------------------------------------------------
@@ -143,32 +149,36 @@ class RecommendationService:
         when the model gained/lost its factored form). Returns whether
         serving tables actually changed.
         """
-        if cold or self.store is None:
-            self._cold_load()
-            return True
-        changed = self.store.refresh(self.model, force=True)
-        self._rewire_retriever()
-        return changed
+        with self._lock:
+            if cold or self.store is None:
+                self._cold_load()
+                return True
+            changed = self.store.refresh(self.model, force=True)
+            self._rewire_retriever()
+            return changed
 
     def _rewire_retriever(self) -> None:
-        """Point the retriever at the refreshed snapshot.
+        """Swap in a retriever built against the refreshed snapshot.
 
-        The exact retriever just swaps its backend; the IVF retriever is
-        rebuilt so its index follows the snapshot (``ann_index`` caches
-        per snapshot version, so an unchanged snapshot costs nothing).
+        Always constructs a *new* retriever object and flips the
+        ``self.retriever`` reference in one assignment: a request thread
+        that already grabbed the old retriever finishes its whole
+        retrieval on the old snapshot instead of seeing tables change
+        under it mid-scan. The IVF index follows along through
+        ``store.ann_index`` (cached per snapshot version, so an
+        unchanged snapshot costs nothing).
         """
-        if self.retriever_kind == "ivf":
-            self.retriever = self._build_retriever()
-        else:
-            self.retriever.backend = (self.store.backend()
-                                      if self.store is not None
-                                      else ScorerBackend(self.model))
+        self.retriever = self._build_retriever()
 
     def _ensure_fresh(self) -> None:
-        if (self.auto_refresh and self.store is not None
-                and self.store.is_stale(self.model)):
-            self.store.refresh(self.model)
-            self._rewire_retriever()
+        if not (self.auto_refresh and self.store is not None):
+            return
+        if not self.store.is_stale(self.model):
+            return
+        with self._lock:
+            if self.store.is_stale(self.model):
+                self.store.refresh(self.model)
+                self._rewire_retriever()
 
     @property
     def snapshot_version(self) -> int | None:
@@ -206,3 +216,63 @@ class RecommendationService:
         if self.store is not None:
             return self.store.score(users, items)
         return np.asarray(self.model.score(users, items))
+
+    # ------------------------------------------------------------------
+    # cold-user path
+    # ------------------------------------------------------------------
+    def cold_user_embeddings(self, users) -> np.ndarray:
+        """Fresh serving embeddings for a few users, bypassing the snapshot.
+
+        Runs the model's single-seed layered extraction
+        (``model.cold_user_embeddings``, backed by ``graph/layered.py``
+        with ``fanout=None`` → exact full-neighborhood propagation for
+        the seeds) over the *current* parameters, then casts to the
+        snapshot dtype. The rows match what the user's row in the *next*
+        snapshot will be, to within a float64 ulp — which is the whole
+        point: a user who trained into the graph after the last snapshot
+        can be served now.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        provider = getattr(self.model, "cold_user_embeddings", None)
+        vectors = provider(users) if callable(provider) else None
+        if vectors is None:
+            raise ValueError(
+                f"{type(self.model).__name__} has no cold-user extraction "
+                "path (needs factored serving embeddings + layered blocks)")
+        vectors = np.asarray(vectors)
+        if self.store is not None:
+            vectors = vectors.astype(self.store.user_matrix.dtype, copy=False)
+        return vectors
+
+    def recommend_cold(self, users, k: int | None = None) -> TopKResult:
+        """Top-K through a freshly extracted embedding (cold-user path).
+
+        Scores the cold embedding against the *current snapshot's* item
+        matrix with the same GEMM, exclusion stamping, and selection as
+        the warm path — when the model hasn't trained since the snapshot,
+        the result matches :meth:`recommend` (same ranking; scores agree
+        to the extraction's float64-ulp tolerance). Brute-force models
+        (no factored form) already score current parameters, so they just
+        delegate.
+        """
+        users = np.atleast_1d(np.asarray(users, dtype=np.int64))
+        k = int(k) if k is not None else self.k_default
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if self.store is None:
+            return self.retriever.retrieve(users, k)
+        vectors = self.cold_user_embeddings(users)
+        backend = self.store.backend()
+        if vectors.shape[1] != backend.dim:
+            raise ValueError(
+                f"cold embedding dim {vectors.shape[1]} does not match "
+                f"snapshot dim {backend.dim}")
+        # same operand layout as MatrixBackend.score_block: rows @ item_t
+        scores = vectors @ backend.item_matrix.T
+        if self.exclusions is not None:
+            counts, cols = self.exclusions.gather(users)
+            ExclusionMask.stamp(scores, counts, cols)
+        k_eff = min(k, backend.num_items)
+        top_items, top_scores = TopKRetriever._select(scores, k_eff)
+        return TopKResult(users=users, items=top_items,
+                          scores=top_scores.astype(np.float64, copy=False))
