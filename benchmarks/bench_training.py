@@ -33,6 +33,17 @@ through per-shard tables, which costs some Python-level bookkeeping per
 step; the gate bounds that tax (``BENCH_SHARD_MAX``) so the sharded path
 stays a constant-factor overhead, never an asymptotic one.
 
+A fourth section sweeps the multi-process parameter server
+(``repro.dist``): the sampled step with shard-owner processes applying
+optimizer updates over shared-memory gradient transport, across worker
+counts (sync mode) and staleness windows (async mode), against the
+single-process sharded sampled step on the same graph. The payload
+records ``cpu_count`` alongside the sweep because the speedup is real
+concurrency: on a multi-core box (≥ 4 cores) sync dist must reach
+``BENCH_DIST_MIN`` (1.6×); on fewer cores the sweep still runs and is
+recorded, but the gate skips — a single core can only measure the
+transport overhead, never the overlap win.
+
 The interaction graphs are built directly from random edge lists (the
 latent-factor generator in ``repro.data.synthetic`` is O(users × items)
 and would dominate the benchmark at the large scale).
@@ -203,6 +214,134 @@ def _measure_async_steps(model, data, steps: int) -> tuple[float, float]:
     return best, total / steps
 
 
+#: dist sweep workload: the "small" graph with the tables in 4 shards —
+#: enough shards to feed up to 3 owner processes on a 4-core runner
+DIST_SHARDS = 4
+DIST_STEPS = 8
+
+
+def _measure_dist_steps(model, data, server, local_optimizer,
+                        steps: int) -> tuple[float, float]:
+    """(best, mean) per-step seconds through the parameter-server loop.
+
+    Mirrors the trainer's dist step: throttle on the staleness window,
+    forward/backward, push shard gradients, step the local optimizer over
+    whatever parameters are unsharded.
+    """
+    from repro.graph.sampling import NegativeSampler, sample_pairwise_batch
+    from repro.nn.losses import pairwise_hinge_loss
+
+    rng = np.random.default_rng(0)
+    graph = data.graph()
+    sampler = NegativeSampler(graph, data.target_behavior)
+    eligible = np.flatnonzero(graph.user_degree(data.target_behavior) > 0)
+    model.train()
+
+    def one_step():
+        server.throttle()
+        batch = sample_pairwise_batch(graph, data.target_behavior, sampler,
+                                      BATCH_USERS, PER_USER, rng,
+                                      eligible_users=eligible)
+        pos, neg = model.sampled_batch_scores(
+            batch.users, batch.pos_items, batch.neg_items,
+            fanout=FANOUT, rng=rng)
+        reg = model.l2_batch(batch.users, batch.pos_items,
+                             batch.neg_items, 1e-4)
+        loss = pairwise_hinge_loss(pos, neg) + reg
+        if local_optimizer is not None:
+            local_optimizer.zero_grad()
+        loss.backward()
+        server.push(lr=1e-3)
+        if local_optimizer is not None:
+            local_optimizer.step()
+        model.on_step_end()
+
+    one_step()  # warm up caches / owner processes
+    best = float("inf")
+    total = 0.0
+    for _ in range(steps):
+        start = time.perf_counter()
+        one_step()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        total += elapsed
+    server.drain()
+    return best, total / steps
+
+
+def _dist_config_row(data, *, workers: int, staleness: int,
+                     transport: str = "shm") -> dict:
+    from repro.core import GNMR, GNMRConfig
+    from repro.dist import DistParameterServer
+    from repro.nn.optim import Adam, shard_param_groups
+
+    model = GNMR(data, GNMRConfig(pretrain=False, seed=0, num_layers=2,
+                                  dtype="float32", shards=DIST_SHARDS))
+    groups = shard_param_groups(model)
+    shard_groups = [g for g in groups if g.get("shard") is not None]
+    local = [p for g in groups if g.get("shard") is None
+             for p in g["params"]]
+    local_optimizer = Adam(local, lr=1e-3) if local else None
+    server = DistParameterServer(shard_groups, optimizer="adam", lr=1e-3,
+                                 workers=workers, staleness=staleness,
+                                 transport=transport)
+    try:
+        best, mean = _measure_dist_steps(model, data, server,
+                                         local_optimizer, DIST_STEPS)
+    finally:
+        server.close()
+    return {
+        "workers": server.num_workers,
+        "staleness": staleness,
+        "transport": transport,
+        "step_ms": best * 1e3,
+        "mean_step_ms": mean * 1e3,
+        "steps_per_sec": 1.0 / mean,
+    }
+
+
+def measure_dist() -> dict:
+    """Worker/staleness sweep of the dist parameter server, small scale."""
+    import os
+
+    from repro.core import GNMR, GNMRConfig
+
+    spec = SCALES["small"]
+    data = _random_graph_dataset(spec["num_users"], spec["num_items"],
+                                 spec["edges_per_user"])
+    cpu_count = os.cpu_count() or 1
+    # single-process baseline: the same sharded model, same sampled step
+    model = GNMR(data, GNMRConfig(pretrain=False, seed=0, num_layers=2,
+                                  dtype="float32", shards=DIST_SHARDS))
+    best, mean = _measure_steps(model, data, "sampled", DIST_STEPS)
+    single = {"step_ms": best * 1e3, "mean_step_ms": mean * 1e3,
+              "steps_per_sec": 1.0 / mean}
+
+    worker_counts = sorted({1, 2, max(1, min(DIST_SHARDS - 1,
+                                             cpu_count - 1))})
+    sync_rows = [_dist_config_row(data, workers=w, staleness=0)
+                 for w in worker_counts]
+    best_sync = max(sync_rows, key=lambda r: r["steps_per_sec"])
+    async_workers = best_sync["workers"]
+    async_rows = [_dist_config_row(data, workers=async_workers, staleness=s)
+                  for s in (1, 2, 4)]
+    for row in sync_rows + async_rows:
+        row["speedup_vs_single"] = (row["steps_per_sec"]
+                                    / single["steps_per_sec"])
+    return {
+        "cpu_count": cpu_count,
+        "shards": DIST_SHARDS,
+        "measure_steps": DIST_STEPS,
+        "single_process": single,
+        "sync_sweep": sync_rows,
+        # the staleness-vs-throughput curve: how much the async stale-push
+        # window buys over the per-step sync barrier
+        "async_staleness_curve": async_rows,
+        "sync_speedup": best_sync["speedup_vs_single"],
+        "sync_best_workers": best_sync["workers"],
+    }
+
+
 def measure_scale(name: str, spec: dict) -> dict:
     from repro.core import GNMR, GNMRConfig
 
@@ -262,7 +401,9 @@ def collect() -> dict:
         },
         "scales": {name: measure_scale(name, spec)
                    for name, spec in SCALES.items()},
+        "dist": measure_dist(),
     }
+    payload["dist_sync_speedup"] = payload["dist"]["sync_speedup"]
     payload["speedup_sampled_large"] = payload["scales"]["large"]["speedup_sampled"]
     payload["speedup_async_large"] = payload["scales"]["large"]["speedup_async"]
     payload["shard_overhead_large"] = payload["scales"]["large"]["shard_overhead"]
@@ -296,6 +437,13 @@ def test_bench_training_throughput(benchmark):
     assert results["speedup_async_large"] >= 1.3
     # sharding is a bounded constant-factor tax on the sampled step
     assert results["shard_overhead_large"] <= 2.0
+    dist = results["dist"]
+    for row in dist["sync_sweep"] + dist["async_staleness_curve"]:
+        assert row["steps_per_sec"] > 0, row
+    # concurrent shard owners need real cores; on fewer than 4 the sweep
+    # only documents transport overhead and the speedup bar doesn't apply
+    if dist["cpu_count"] >= 4:
+        assert results["dist_sync_speedup"] >= 1.6
 
 
 if __name__ == "__main__":  # CI path: no pytest required

@@ -129,6 +129,14 @@ def cmd_train(args) -> int:
     if args.shards is not None:
         # per-shard optimizer parameter groups (state stays shard-local)
         train_overrides["shards"] = args.shards
+    if args.dist != "off":
+        # multi-process parameter server: shard-owner processes apply the
+        # optimizer steps, gradients cross the repro.dist transport
+        train_overrides["dist"] = args.dist
+        if args.dist_workers is not None:
+            train_overrides["dist_workers"] = args.dist_workers
+        train_overrides["dist_staleness"] = args.dist_staleness
+        train_overrides["dist_transport"] = args.dist_transport
     model.fit(split.train, scale.train_config(**train_overrides))
     if args.eval == "full":
         outcome = evaluate_full_ranking(model, split.train,
@@ -354,6 +362,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "across K logical shards (parameter-server "
                               "layout; 1 bit-matches unsharded, K matches "
                               "1 under the documented parity contract)")
+    p_train.add_argument("--dist", default="off",
+                         choices=["off", "sync", "async"],
+                         help="multi-process parameter-server training "
+                              "(requires --shards): 'sync' bit-matches "
+                              "in-process training, 'async' allows bounded "
+                              "staleness for throughput")
+    p_train.add_argument("--dist-workers", type=int, default=None,
+                         help="shard-owner process count for --dist "
+                              "(default: one per shard)")
+    p_train.add_argument("--dist-staleness", type=int, default=2,
+                         help="max steps the trainer may lead the slowest "
+                              "shard owner under --dist async (0 = sync)")
+    p_train.add_argument("--dist-transport", default="shm",
+                         choices=["shm", "pipe", "inline"],
+                         help="gradient transport for --dist: shared-memory "
+                              "rings (default), pipe fallback, or in-process "
+                              "inline mode")
     p_train.add_argument("--shard-strategy", default="range",
                          choices=["range", "hash"],
                          help="row partitioning: contiguous ranges or "

@@ -1,0 +1,51 @@
+"""Multi-process parameter-server training.
+
+The cross-process half of the ``repro.shard`` layout: shard-owner
+processes apply optimizer steps concurrently while the trainer keeps
+extraction and forward/backward on the async pipeline. Gradients travel
+as length-prefixed :mod:`~repro.dist.codec` frames over shared-memory
+rings (:class:`~repro.dist.transport.ShmRing`, with a pipe fallback);
+parameters live in shared memory so pulls are zero-copy. ``staleness=0``
+bit-matches in-process ``shards=K`` training; a bounded staleness window
+unlocks async throughput. See ``docs/distributed.md``.
+"""
+
+from repro.dist.codec import (
+    FrameError,
+    decode,
+    decode_grad,
+    encode_grad,
+    encode_push,
+    encode_stop,
+    frame,
+    unframe,
+)
+from repro.dist.server import (
+    DistParameterServer,
+    ShardOwner,
+    default_dist_workers,
+)
+from repro.dist.transport import (
+    PipeChannel,
+    SharedBlock,
+    ShmRing,
+    TransportError,
+)
+
+__all__ = [
+    "DistParameterServer",
+    "FrameError",
+    "PipeChannel",
+    "SharedBlock",
+    "ShardOwner",
+    "ShmRing",
+    "TransportError",
+    "decode",
+    "decode_grad",
+    "default_dist_workers",
+    "encode_grad",
+    "encode_push",
+    "encode_stop",
+    "frame",
+    "unframe",
+]

@@ -1,0 +1,209 @@
+"""Length-prefixed wire format for gradient pushes.
+
+The parameter-server transport moves one *push frame* per optimizer step
+from the trainer to each shard-owner process. A frame carries the step
+index, the learning rate in force at that step (schedulers mutate lr
+between epochs, and bit-parity requires the owner to apply the same rate
+the in-process optimizer would have), and one gradient entry per owned
+parameter — a :class:`~repro.tensor.RowSparseGrad` (the sampled path), a
+dense block (the full-graph path), or ``None`` (parameter not touched
+this step; the owner still advances its Adam clock, exactly like the
+in-process ``step()``).
+
+Layout (all little-endian, fixed-width — ``struct``, no pickle):
+
+``frame   := u32 body_length ++ body``
+``body    := u16 magic, u8 version, u8 kind, i64 step, f64 lr,``
+``           u16 count, count * grad``
+``grad    := u8 tag (NONE) |``
+``           u8 tag, dtype, u8 ndim, ndim*u64 dims, u64 num_rows, u8 flags,``
+``               indices_bytes, values_bytes (ROWSPARSE) |``
+``           u8 tag, dtype, u8 ndim, ndim*u64 dims, raw_bytes (DENSE)``
+``dtype    := u8 length ++ ascii numpy dtype.str (e.g. "<f8")``
+
+Every decoder checks it consumes exactly what the header promised;
+anything short, oversized, or mislabeled raises :class:`FrameError` — a
+truncated ring read must never turn into a silently wrong gradient.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.tensor.rowsparse import RowSparseGrad
+
+MAGIC = 0x5053  # "PS"
+VERSION = 1
+
+KIND_PUSH = 1
+KIND_STOP = 2
+
+_TAG_NONE = 0
+_TAG_ROWSPARSE = 1
+_TAG_DENSE = 2
+
+_HEADER = struct.Struct("<HBBqdH")
+_LEN = struct.Struct("<I")
+
+#: largest frame the codec will emit or accept (guards against a corrupt
+#: length prefix allocating unbounded memory on the receive side)
+MAX_FRAME_BYTES = 1 << 31
+
+
+class FrameError(ValueError):
+    """A frame failed to decode: truncated, corrupt, or wrong version."""
+
+
+def _encode_dtype(dtype: np.dtype) -> bytes:
+    token = np.dtype(dtype).str.encode("ascii")
+    return struct.pack("<B", len(token)) + token
+
+
+def _encode_array(array: np.ndarray) -> bytes:
+    array = np.ascontiguousarray(array)
+    dims = struct.pack(f"<B{array.ndim}Q", array.ndim, *array.shape)
+    return _encode_dtype(array.dtype) + dims + array.tobytes()
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame body."""
+
+    def __init__(self, body: bytes):
+        self.body = body
+        self.pos = 0
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.pos + n > len(self.body):
+            raise FrameError(
+                f"truncated frame: wanted {n} bytes at offset {self.pos}, "
+                f"body is {len(self.body)} bytes")
+        out = self.body[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def unpack(self, fmt: struct.Struct):
+        return fmt.unpack(self.take(fmt.size))
+
+    def dtype(self) -> np.dtype:
+        (length,) = struct.unpack("<B", self.take(1))
+        try:
+            return np.dtype(self.take(length).decode("ascii"))
+        except (TypeError, UnicodeDecodeError) as exc:
+            raise FrameError(f"bad dtype token in frame: {exc}") from exc
+
+    def array(self) -> np.ndarray:
+        dtype = self.dtype()
+        (ndim,) = struct.unpack("<B", self.take(1))
+        shape = struct.unpack(f"<{ndim}Q", self.take(8 * ndim))
+        count = 1
+        for dim in shape:
+            count *= dim
+        raw = self.take(count * dtype.itemsize)
+        return np.frombuffer(bytearray(raw), dtype=dtype).reshape(shape)
+
+    def done(self) -> None:
+        if self.pos != len(self.body):
+            raise FrameError(
+                f"frame has {len(self.body) - self.pos} trailing bytes")
+
+
+def encode_grad(grad) -> bytes:
+    """One gradient entry: ``RowSparseGrad``, dense ndarray, or ``None``."""
+    if grad is None:
+        return struct.pack("<B", _TAG_NONE)
+    if isinstance(grad, RowSparseGrad):
+        values = np.ascontiguousarray(grad.values)
+        dims = struct.pack(f"<B{values.ndim}Q", values.ndim, *values.shape)
+        head = (struct.pack("<B", _TAG_ROWSPARSE)
+                + _encode_dtype(values.dtype) + dims
+                + struct.pack("<QB", grad.num_rows, 1))
+        indices = np.ascontiguousarray(grad.indices, dtype=np.int64)
+        return head + indices.tobytes() + values.tobytes()
+    return struct.pack("<B", _TAG_DENSE) + _encode_array(np.asarray(grad))
+
+
+def _decode_grad(reader: _Reader):
+    (tag,) = struct.unpack("<B", reader.take(1))
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_ROWSPARSE:
+        dtype = reader.dtype()
+        (ndim,) = struct.unpack("<B", reader.take(1))
+        shape = struct.unpack(f"<{ndim}Q", reader.take(8 * ndim))
+        num_rows, coalesced = struct.unpack("<QB", reader.take(9))
+        nnz = shape[0] if shape else 0
+        indices = np.frombuffer(bytearray(reader.take(8 * nnz)),
+                                dtype=np.int64)
+        count = 1
+        for dim in shape:
+            count *= dim
+        values = np.frombuffer(bytearray(reader.take(count * dtype.itemsize)),
+                               dtype=dtype).reshape(shape)
+        try:
+            return RowSparseGrad(indices, values, num_rows,
+                                 coalesced=bool(coalesced))
+        except (ValueError, IndexError) as exc:
+            raise FrameError(f"inconsistent row-sparse entry: {exc}") from exc
+    if tag == _TAG_DENSE:
+        return reader.array()
+    raise FrameError(f"unknown gradient tag {tag}")
+
+
+def decode_grad(payload: bytes):
+    """Inverse of :func:`encode_grad` over a standalone entry."""
+    reader = _Reader(payload)
+    grad = _decode_grad(reader)
+    reader.done()
+    return grad
+
+
+def encode_push(step: int, lr: float, grads) -> bytes:
+    """A PUSH frame body: ``(step, lr)`` plus one entry per parameter."""
+    grads = list(grads)
+    parts = [_HEADER.pack(MAGIC, VERSION, KIND_PUSH, step, lr, len(grads))]
+    parts.extend(encode_grad(g) for g in grads)
+    return b"".join(parts)
+
+
+def encode_stop() -> bytes:
+    """A STOP frame body (owner drains, detaches, and exits)."""
+    return _HEADER.pack(MAGIC, VERSION, KIND_STOP, 0, 0.0, 0)
+
+
+def decode(body: bytes) -> tuple[int, int, float, list]:
+    """Decode one frame body → ``(kind, step, lr, grads)``."""
+    reader = _Reader(body)
+    magic, version, kind, step, lr, count = reader.unpack(_HEADER)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic 0x{magic:04x} (expected 0x{MAGIC:04x})")
+    if version != VERSION:
+        raise FrameError(f"unsupported frame version {version}")
+    if kind not in (KIND_PUSH, KIND_STOP):
+        raise FrameError(f"unknown frame kind {kind}")
+    grads = [_decode_grad(reader) for _ in range(count)]
+    reader.done()
+    return kind, step, lr, grads
+
+
+def frame(body: bytes) -> bytes:
+    """Prefix a frame body with its u32 length (the ring slot format)."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame body of {len(body)} bytes exceeds "
+                         f"MAX_FRAME_BYTES ({MAX_FRAME_BYTES})")
+    return _LEN.pack(len(body)) + body
+
+
+def unframe(data: bytes) -> bytes:
+    """Strip and validate the u32 length prefix; the exact inverse of
+    :func:`frame` over a complete buffer."""
+    if len(data) < _LEN.size:
+        raise FrameError(f"short frame: {len(data)} bytes, no length prefix")
+    (length,) = _LEN.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds MAX_FRAME_BYTES")
+    if len(data) != _LEN.size + length:
+        raise FrameError(f"frame length prefix says {length} bytes, "
+                         f"buffer carries {len(data) - _LEN.size}")
+    return data[_LEN.size:]

@@ -26,7 +26,7 @@ from repro.serve.retriever import (
     backend_for,
 )
 from repro.serve.ann import ApproxRetriever, IVFIndex
-from repro.serve.store import EmbeddingStore, model_version
+from repro.serve.store import EmbeddingStore, SnapshotIntegrityError, model_version
 from repro.serve.service import RecommendationService
 from repro.serve.http import (
     DynamicBatcher,
@@ -45,6 +45,7 @@ __all__ = [
     "TopKRetriever",
     "backend_for",
     "EmbeddingStore",
+    "SnapshotIntegrityError",
     "model_version",
     "RecommendationService",
     "RecommendationHTTPServer",

@@ -14,6 +14,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.serve.retriever import MatrixBackend
+from repro.utils.integrity import array_sha256
+
+
+class SnapshotIntegrityError(ValueError):
+    """A snapshot's content hash did not match the expected fingerprint."""
 
 
 def model_version(model) -> int | None:
@@ -64,6 +69,10 @@ class EmbeddingStore:
             item_matrix = item_matrix.astype(self.dtype, copy=False)
         self.user_matrix = user_matrix
         self.item_matrix = item_matrix
+        # content fingerprint recorded at snapshot build: sha256 over both
+        # tables' dtype/shape/bytes, the integrity anchor for cross-process
+        # assembly (from_shards) and checkpoint reload round-trips
+        self.content_hash = array_sha256(user_matrix, item_matrix)
         self._backend: MatrixBackend | None = None
         # ANN indexes are built over the item matrix, so every snapshot
         # refresh (engine version bump) invalidates them; they rebuild
@@ -91,7 +100,7 @@ class EmbeddingStore:
     def from_shards(cls, user_shards, item_shards, *,
                     user_spec=None, item_spec=None, version: int | None = None,
                     dtype="float32", source: str = "sharded",
-                    ) -> "EmbeddingStore":
+                    expected_hash: str | None = None) -> "EmbeddingStore":
         """Assemble one serving snapshot from shard-local embedding tables.
 
         The parameter-server serving path: each shard owns a row partition
@@ -111,6 +120,13 @@ class EmbeddingStore:
             The :class:`~repro.shard.ShardSpec` describing each partition;
             required with raw block lists, ignored when a
             ``ShardedEmbedding`` is passed (it knows its own spec).
+        expected_hash:
+            Content fingerprint the assembled snapshot must match
+            (``content_hash`` of the snapshot the shards came from).
+            Guards the cross-process assembly path: a dropped, reordered,
+            or truncated shard block raises
+            :class:`SnapshotIntegrityError` instead of silently serving a
+            scrambled table.
         """
         def assemble(shards, spec) -> np.ndarray:
             if hasattr(shards, "dense_table"):  # ShardedEmbedding
@@ -119,9 +135,12 @@ class EmbeddingStore:
                 raise ValueError("raw shard blocks need an explicit spec")
             return spec.assemble(list(shards))
 
-        return cls(assemble(user_shards, user_spec),
-                   assemble(item_shards, item_spec),
-                   version=version, dtype=dtype, source=source)
+        store = cls(assemble(user_shards, user_spec),
+                    assemble(item_shards, item_spec),
+                    version=version, dtype=dtype, source=source)
+        if expected_hash is not None:
+            store.verify(expected_hash)
+        return store
 
     # ------------------------------------------------------------------
     @property
@@ -167,6 +186,25 @@ class EmbeddingStore:
     def score(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
         """Pairwise snapshot scores for parallel (user, item) arrays."""
         return self.backend().score_pairs(users, items)
+
+    def verify(self, expected_hash: str | None = None) -> str:
+        """Re-hash the tables and check them against a fingerprint.
+
+        With ``expected_hash`` the recomputed hash must match it (the
+        cross-process / checkpoint-reload integrity check); without one it
+        must match the hash recorded when the snapshot was built, which
+        catches in-place mutation of a supposedly frozen snapshot. Returns
+        the recomputed hash; raises :class:`SnapshotIntegrityError` on any
+        mismatch.
+        """
+        actual = array_sha256(self.user_matrix, self.item_matrix)
+        expected = self.content_hash if expected_hash is None else expected_hash
+        if actual != expected:
+            raise SnapshotIntegrityError(
+                f"snapshot content hash {actual[:16]}… does not match the "
+                f"expected fingerprint {expected[:16]}… (source="
+                f"{self.source!r}, version={self.version})")
+        return actual
 
     # ------------------------------------------------------------------
     def is_stale(self, model) -> bool:

@@ -109,6 +109,23 @@ class TrainConfig:
     #: run ``eval_fn`` every this many epochs (the final epoch always
     #: evaluates so the history ends with a metric)
     eval_every: int = 1
+    #: multi-process parameter-server mode (:mod:`repro.dist`): "off"
+    #: keeps every optimizer step in-process; "sync" ships shard
+    #: gradients to owner processes and barriers each step (bit-matches
+    #: in-process ``shards=K`` training); "async" lets the trainer run
+    #: ahead of the owners by ``dist_staleness`` steps (stale-push mode —
+    #: faster, nondeterministic). Requires ``shards``
+    dist: str = "off"
+    #: shard-owner process count for dist modes (default: one per shard)
+    dist_workers: int | None = None
+    #: bounded staleness window for ``dist="async"``: how many steps the
+    #: trainer may lead the slowest shard owner. ``0`` degenerates to the
+    #: synchronous barrier
+    dist_staleness: int = 2
+    #: gradient transport for dist modes: "shm" (shared-memory rings,
+    #: default), "pipe" (socket/pipe fallback), or "inline" (owners run
+    #: in-process through the full wire codec — tests/fallback)
+    dist_transport: str = "shm"
 
     def __post_init__(self):
         if self.fanout != "model":
@@ -118,6 +135,21 @@ class TrainConfig:
                              "(use 'adam' or 'sgd')")
         if self.shards is not None and self.shards < 1:
             raise ValueError("shards must be >= 1 (or None)")
+        if self.dist not in ("off", "sync", "async"):
+            raise ValueError(f"unknown dist mode {self.dist!r} "
+                             "(use 'off', 'sync' or 'async')")
+        if self.dist != "off":
+            if self.shards is None:
+                raise ValueError("dist training requires shards "
+                                 "(the parameter-server partition)")
+            if self.dist_transport not in ("shm", "pipe", "inline"):
+                raise ValueError(
+                    f"unknown dist transport {self.dist_transport!r} "
+                    "(use 'shm', 'pipe' or 'inline')")
+            if self.dist_workers is not None and self.dist_workers < 1:
+                raise ValueError("dist_workers must be >= 1 (or None)")
+            if self.dist_staleness < 0:
+                raise ValueError("dist_staleness must be >= 0")
 
     def fanout_kwargs(self) -> dict:
         """``{"fanout": ...}`` for the model calls, or ``{}`` to defer.
@@ -263,10 +295,55 @@ class Trainer:
             return SGD(params, lr=cfg.lr)
         return Adam(params, lr=cfg.lr)
 
+    def _make_dist(self):
+        """``(bridge, local_optimizer)`` for the parameter-server modes.
+
+        The bridge owns every shard-labeled parameter (its owner processes
+        apply those updates); the local optimizer covers the unsharded
+        rest, stepping in-process exactly as before. Either may be the
+        scheduler's lr holder — pushes always carry the current rate.
+        """
+        from repro.dist import DistParameterServer
+
+        cfg = self.config
+        groups = shard_param_groups(self.model)
+        shard_groups = [g for g in groups if g["shard"] is not None]
+        local_params = [p for g in groups if g["shard"] is None
+                        for p in g["params"]]
+        if not shard_groups:
+            raise ValueError(
+                "dist training needs a model built with sharded tables "
+                "(e.g. GNMRConfig(shards=K)) — no shard-labeled "
+                "parameters found")
+        bridge = DistParameterServer(
+            shard_groups, optimizer=cfg.optimizer, lr=cfg.lr,
+            workers=cfg.dist_workers,
+            staleness=0 if cfg.dist == "sync" else cfg.dist_staleness,
+            transport=cfg.dist_transport)
+        if local_params:
+            local = (SGD(local_params, lr=cfg.lr) if cfg.optimizer == "sgd"
+                     else Adam(local_params, lr=cfg.lr))
+        else:
+            local = None
+        return bridge, local
+
     def _run_epochs(self, pipeline: SampledBatchPipeline | None) -> HistoryRecorder:
         cfg = self.config
-        optimizer = self._make_optimizer()
-        scheduler = ExponentialDecay(optimizer, rate=cfg.lr_decay)
+        if cfg.dist != "off":
+            dist, optimizer = self._make_dist()
+            try:
+                return self._epoch_loop(pipeline, optimizer, dist)
+            finally:
+                dist.close()
+        return self._epoch_loop(pipeline, self._make_optimizer(), None)
+
+    def _epoch_loop(self, pipeline: SampledBatchPipeline | None,
+                    optimizer, dist) -> HistoryRecorder:
+        cfg = self.config
+        # the scheduler mutates its holder's ``lr``; without unsharded
+        # parameters the bridge itself carries the rate for the pushes
+        lr_holder = optimizer if optimizer is not None else dist
+        scheduler = ExponentialDecay(lr_holder, rate=cfg.lr_decay)
         stopper = (EarlyStopping(patience=cfg.early_stopping_patience)
                    if cfg.early_stopping_patience else None)
         loss_fn = _LOSSES[cfg.loss]
@@ -288,14 +365,23 @@ class Trainer:
                     )
                 if len(batch) == 0:
                     continue
+                if dist is not None:
+                    # bounded staleness: forward may only read tables the
+                    # owners have caught up to within the window (0 = the
+                    # synchronous barrier → bit-parity with in-process)
+                    dist.throttle()
                 pos_scores, neg_scores, reg = self._step_scores(batch, prepared)
                 loss = loss_fn(pos_scores, neg_scores, cfg.margin)
                 loss = loss + reg
-                optimizer.zero_grad()
+                if optimizer is not None:
+                    optimizer.zero_grad()
                 loss.backward()
                 if cfg.grad_clip is not None:
                     clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                optimizer.step()
+                if dist is not None:
+                    dist.push(lr=lr_holder.lr)
+                if optimizer is not None:
+                    optimizer.step()
                 if hasattr(self.model, "on_step_end"):
                     self.model.on_step_end()
                 epoch_loss += float(loss.data)
@@ -313,6 +399,8 @@ class Trainer:
                             and ((epoch + 1) % cfg.eval_every == 0
                                  or epoch == cfg.epochs - 1))
             if evaluate_now:
+                if dist is not None:
+                    dist.drain()  # evaluate fully-applied tables
                 self.model.eval()
                 metric = float(self.eval_fn())
                 self.model.train()
@@ -323,5 +411,11 @@ class Trainer:
                 print(f"epoch {epoch:3d} loss={mean_loss:.4f} lr={lr:.5f}{suffix}")
             if stopper is not None and metric is not None and stopper.update(metric):
                 break
+        if dist is not None:
+            dist.drain()
+        if optimizer is not None:
+            # flush exact-mixed Adam's deferred per-row replays so final
+            # parameters don't depend on which rows the last batches drew
+            optimizer.sync()
         self.model.eval()
         return self.history

@@ -1,6 +1,13 @@
-"""Utility helpers: checkpointing and timing."""
+"""Utility helpers: checkpointing, content hashing, and timing."""
 
-from repro.utils.checkpoint import save_checkpoint, load_checkpoint, peek_checkpoint
+from repro.utils.checkpoint import (
+    CheckpointIntegrityError,
+    load_checkpoint,
+    peek_checkpoint,
+    save_checkpoint,
+)
+from repro.utils.integrity import array_sha256
 from repro.utils.timing import Timer
 
-__all__ = ["save_checkpoint", "load_checkpoint", "peek_checkpoint", "Timer"]
+__all__ = ["save_checkpoint", "load_checkpoint", "peek_checkpoint",
+           "CheckpointIntegrityError", "array_sha256", "Timer"]

@@ -2,7 +2,11 @@
 
 Parameter names contain dots (module paths), which ``np.savez`` handles
 fine as keys; metadata (model name, step, metrics) rides along as a JSON
-string under a reserved key.
+string under a reserved key. Every save also records a per-array sha256
+fingerprint (``array_sha256`` metadata key) that :func:`load_checkpoint`
+verifies, so a corrupted or hand-edited archive fails loudly instead of
+silently serving garbage embeddings. Checkpoints written before the
+fingerprints existed still load (no hashes → no verification).
 """
 
 from __future__ import annotations
@@ -12,7 +16,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.utils.integrity import array_sha256
+
 _META_KEY = "__checkpoint_meta__"
+_HASH_KEY = "array_sha256"
+
+
+class CheckpointIntegrityError(ValueError):
+    """A checkpoint array's content hash did not match its metadata."""
 
 
 def save_checkpoint(model, path: str | Path,
@@ -35,6 +46,7 @@ def save_checkpoint(model, path: str | Path,
     payload = dict(state)
     meta = dict(metadata or {})
     meta.setdefault("num_parameters", int(sum(v.size for v in state.values())))
+    meta[_HASH_KEY] = {name: array_sha256(value) for name, value in state.items()}
     payload[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -57,8 +69,15 @@ def peek_checkpoint(path: str | Path) -> dict:
     return {}
 
 
-def load_checkpoint(model, path: str | Path) -> dict:
-    """Load parameters saved by :func:`save_checkpoint`; returns metadata."""
+def load_checkpoint(model, path: str | Path, verify: bool = True) -> dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    When the metadata carries per-array fingerprints (every checkpoint
+    written since they were introduced), each array is re-hashed before it
+    reaches the model and a mismatch raises
+    :class:`CheckpointIntegrityError`. Pass ``verify=False`` to skip the
+    check (e.g. deliberately patched archives).
+    """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -70,5 +89,14 @@ def load_checkpoint(model, path: str | Path) -> dict:
                 metadata = json.loads(bytes(archive[key]).decode("utf-8"))
             else:
                 state[key] = archive[key]
+    expected = metadata.get(_HASH_KEY)
+    if verify and expected:
+        bad = [name for name, value in state.items()
+               if expected.get(name) not in (None, array_sha256(value))]
+        if bad:
+            raise CheckpointIntegrityError(
+                f"checkpoint {path} failed integrity verification: "
+                f"array content hash mismatch for {sorted(bad)} — the file "
+                "was corrupted or modified after save_checkpoint wrote it")
     model.load_state_dict(state)
     return metadata

@@ -1,0 +1,25 @@
+"""Content hashing for embedding tables and checkpoint arrays.
+
+One canonical fingerprint — sha256 over each array's dtype, shape, and raw
+bytes — shared by the serving snapshot integrity check
+(:class:`repro.serve.EmbeddingStore`) and checkpoint save/load
+(:mod:`repro.utils.checkpoint`). Hashing the dtype and shape alongside the
+payload means a transposed, reshaped, or down-cast table never collides
+with the original.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def array_sha256(*arrays: np.ndarray) -> str:
+    """Hex sha256 fingerprint of one or more arrays (order-sensitive)."""
+    digest = hashlib.sha256()
+    for array in arrays:
+        array = np.ascontiguousarray(array)
+        digest.update(f"{array.dtype.str}|{array.shape}|".encode("ascii"))
+        digest.update(array.data)
+    return digest.hexdigest()

@@ -1,0 +1,218 @@
+"""Seeded property tests for the parameter-server wire codec.
+
+ISSUE-8 satellite 3: round-trip ``RowSparseGrad`` / dense-block frames
+through the codec — empty gradients, 1-D bias tables, f32/f64, frames at
+the size limit, and every truncated-frame error path must raise
+:class:`repro.dist.FrameError` rather than decode to a wrong gradient.
+"""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.dist import (
+    FrameError,
+    decode,
+    decode_grad,
+    encode_grad,
+    encode_push,
+    encode_stop,
+    frame,
+    unframe,
+)
+from repro.dist.codec import KIND_PUSH, KIND_STOP, MAX_FRAME_BYTES
+from repro.tensor.rowsparse import RowSparseGrad
+
+
+def random_rowsparse(rng, *, num_rows, nnz, row_shape=(), dtype=np.float64):
+    """A coalesced row-sparse gradient with seeded contents."""
+    indices = rng.choice(num_rows, size=nnz, replace=False) if nnz else \
+        np.empty(0, dtype=np.int64)
+    values = rng.standard_normal((nnz,) + row_shape).astype(dtype)
+    return RowSparseGrad(indices, values, num_rows)
+
+
+def assert_grads_equal(a, b):
+    if a is None:
+        assert b is None
+        return
+    if isinstance(a, RowSparseGrad):
+        assert isinstance(b, RowSparseGrad)
+        assert a.num_rows == b.num_rows
+        np.testing.assert_array_equal(a.indices, b.indices)
+        assert a.values.dtype == b.values.dtype
+        np.testing.assert_array_equal(a.values, b.values)
+        return
+    assert isinstance(b, np.ndarray)
+    assert np.asarray(a).dtype == b.dtype
+    np.testing.assert_array_equal(np.asarray(a), b)
+
+
+class TestGradRoundTrip:
+    """encode_grad → decode_grad is the identity, bit for bit."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("row_shape", [(), (1,), (8,)],
+                             ids=["bias-1d", "dim1", "dim8"])
+    def test_rowsparse_seeded_sweep(self, dtype, row_shape):
+        rng = np.random.default_rng(hash((np.dtype(dtype).str, row_shape))
+                                    % (2**32))
+        for nnz in (0, 1, 7, 64):
+            grad = random_rowsparse(rng, num_rows=128, nnz=nnz,
+                                    row_shape=row_shape, dtype=dtype)
+            assert_grads_equal(grad, decode_grad(encode_grad(grad)))
+
+    def test_empty_rowsparse(self):
+        grad = RowSparseGrad(np.empty(0, dtype=np.int64),
+                             np.empty((0, 4)), num_rows=10)
+        out = decode_grad(encode_grad(grad))
+        assert out.indices.size == 0
+        assert out.values.shape == (0, 4)
+        assert out.num_rows == 10
+
+    def test_none_grad(self):
+        assert decode_grad(encode_grad(None)) is None
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    @pytest.mark.parametrize("shape", [(5,), (3, 4), (2, 3, 2), (0, 6)],
+                             ids=["bias-1d", "matrix", "3d", "empty"])
+    def test_dense_seeded(self, dtype, shape):
+        rng = np.random.default_rng(7)
+        grad = rng.standard_normal(shape).astype(dtype)
+        assert_grads_equal(grad, decode_grad(encode_grad(grad)))
+
+    def test_decoded_arrays_are_writable(self):
+        """Owners scatter into decoded values; read-only views would trap."""
+        rng = np.random.default_rng(0)
+        sparse = decode_grad(encode_grad(
+            random_rowsparse(rng, num_rows=16, nnz=3, row_shape=(2,))))
+        sparse.values += 1.0  # must not raise
+        dense = decode_grad(encode_grad(rng.standard_normal(4)))
+        dense += 1.0
+
+
+class TestPushRoundTrip:
+    def test_mixed_frame_seeded(self):
+        rng = np.random.default_rng(42)
+        for trial in range(10):
+            grads = [
+                None,
+                random_rowsparse(rng, num_rows=64, nnz=int(rng.integers(0, 9)),
+                                 row_shape=(6,)),
+                random_rowsparse(rng, num_rows=32,
+                                 nnz=int(rng.integers(0, 5)),
+                                 dtype=np.float32),  # 1-D bias table
+                rng.standard_normal((4, 3)),
+            ]
+            step = int(rng.integers(0, 1 << 40))
+            lr = float(rng.uniform(1e-6, 1.0))
+            kind, out_step, out_lr, out = decode(encode_push(step, lr, grads))
+            assert kind == KIND_PUSH
+            assert out_step == step
+            assert out_lr == lr  # f64 carried exactly
+            assert len(out) == len(grads)
+            for a, b in zip(grads, out):
+                assert_grads_equal(a, b)
+
+    def test_stop_frame(self):
+        kind, step, lr, grads = decode(encode_stop())
+        assert kind == KIND_STOP
+        assert grads == []
+
+
+class TestFraming:
+    def test_frame_unframe_identity(self):
+        body = encode_push(3, 0.01, [None])
+        assert unframe(frame(body)) == body
+
+    def test_unframe_rejects_short_buffer(self):
+        with pytest.raises(FrameError, match="no length prefix"):
+            unframe(b"\x01\x02")
+
+    def test_unframe_rejects_length_mismatch(self):
+        framed = frame(b"abcdef")
+        with pytest.raises(FrameError, match="length prefix"):
+            unframe(framed + b"x")  # trailing garbage
+        with pytest.raises(FrameError, match="length prefix"):
+            unframe(framed[:-1])  # short read
+
+    def test_unframe_rejects_oversized_declared_length(self):
+        """A corrupt u32 prefix must not trigger an unbounded read."""
+        bogus = struct.pack("<I", MAX_FRAME_BYTES + 1) + b""
+        with pytest.raises(FrameError, match="MAX_FRAME_BYTES"):
+            unframe(bogus)
+
+    def test_frame_at_declared_size_is_exactly_prefixed(self):
+        body = b"z" * 1000
+        framed = frame(body)
+        assert len(framed) == 4 + 1000
+        assert struct.unpack("<I", framed[:4])[0] == 1000
+
+
+class TestTruncationAndCorruption:
+    """Every strict prefix of a valid frame raises, never mis-decodes."""
+
+    def test_every_truncation_point_raises(self):
+        rng = np.random.default_rng(3)
+        body = encode_push(5, 0.1, [
+            random_rowsparse(rng, num_rows=20, nnz=4, row_shape=(3,)),
+            None,
+            rng.standard_normal((2, 2)).astype(np.float32),
+        ])
+        for cut in range(len(body)):
+            with pytest.raises(FrameError):
+                decode(body[:cut])
+
+    def test_trailing_bytes_raise(self):
+        body = encode_push(1, 0.5, [None])
+        with pytest.raises(FrameError, match="trailing"):
+            decode(body + b"\x00")
+
+    def test_bad_magic(self):
+        body = bytearray(encode_stop())
+        body[0] ^= 0xFF
+        with pytest.raises(FrameError, match="magic"):
+            decode(bytes(body))
+
+    def test_bad_version(self):
+        body = bytearray(encode_stop())
+        body[2] = 99
+        with pytest.raises(FrameError, match="version"):
+            decode(bytes(body))
+
+    def test_bad_kind(self):
+        body = bytearray(encode_stop())
+        body[3] = 42
+        with pytest.raises(FrameError, match="kind"):
+            decode(bytes(body))
+
+    def test_unknown_grad_tag(self):
+        with pytest.raises(FrameError, match="tag"):
+            decode_grad(b"\x07")
+
+    def test_bad_dtype_token(self):
+        # tag ROWSPARSE, dtype token "zz" — not a numpy dtype
+        payload = b"\x01" + b"\x02zz"
+        with pytest.raises(FrameError):
+            decode_grad(payload)
+
+    def test_out_of_range_indices_rejected(self):
+        """A tampered num_rows must surface as FrameError, not IndexError."""
+        # hand-packed ROWSPARSE entry: values (2,) f8, num_rows=1 but
+        # indices [0, 5] — inconsistent on purpose
+        payload = (b"\x01"                       # tag
+                   + b"\x03<f8"                  # dtype token
+                   + struct.pack("<BQ", 1, 2)    # ndim=1, dims=(2,)
+                   + struct.pack("<QB", 1, 1)    # num_rows=1, coalesced
+                   + np.array([0, 5], dtype=np.int64).tobytes()
+                   + np.array([1.0, 2.0]).tobytes())
+        with pytest.raises(FrameError, match="row-sparse"):
+            decode_grad(payload)
+
+    def test_grad_count_overrun_raises(self):
+        """Header promising more gradients than the body carries."""
+        body = bytearray(encode_push(0, 0.1, [None]))
+        struct.pack_into("<H", body, struct.calcsize("<HBBqd"), 3)
+        with pytest.raises(FrameError, match="truncated"):
+            decode(bytes(body))

@@ -1,19 +1,18 @@
-"""Characterization of the mixed dense/sparse Adam approximation.
+"""Mixed dense/sparse Adam interop — now exact (timestamped dense path).
 
-ROADMAP item: when one parameter sees both dense and sparse gradients,
-the lazy per-row path is *approximate* — per-row step counters start from
-the global step at the first sparse touch, and rows skipped by a sparse
-step keep undecayed moments, whereas exact interop would need per-row
-timestamps on the dense path as well. These tests pin the current
-semantics so future work on exact interop has a regression anchor:
+The carried-over ROADMAP approximation is gone: when one parameter sees a
+dense gradient and then row-sparse ones, Adam switches that parameter to a
+timestamped regime (per-row last-updated step + per-step lr history) and
+replays the dense updates a row missed before touching it again. After
+``sync()`` the result is **bit-identical** to dense Adam fed densified
+gradients — the old deviation band collapses to 0. These tests are the
+regression anchor for the exact semantics:
 
-* the counter-initialization rule is asserted literally;
-* a mirror implementation of the documented update rule must match the
-  optimizer bit for bit (the characterization anchor — any semantic
-  change breaks this test before it breaks training);
-* the deviation from a pure-dense Adam reference on a mixed schedule is
-  bounded by an explicit tolerance band: small (the approximation is
-  benign at these scales) but nonzero (it *is* an approximation).
+* the timestamp bookkeeping is asserted literally;
+* a pure-dense Adam run on densified gradients must match the mixed run
+  bit for bit after ``sync()`` (the exactness anchor);
+* sparse-first parameters keep the legacy per-row-count lazy semantics
+  (the sampled-trainer contract), pinned by the mirror implementation.
 """
 
 import numpy as np
@@ -32,11 +31,12 @@ def _dense_from(rows, values, num_rows=SHAPE[0]):
 
 
 class MirrorAdam:
-    """Reimplementation of the documented mixed dense/sparse semantics.
+    """Reimplementation of the *legacy* lazy mixed semantics.
 
-    Independent of the optimizer's code: global step count for dense
-    updates, per-row counts for sparse ones, counters seeded from the
-    global step at first sparse touch, moments frozen on skipped rows.
+    Still the characterization for sparse-first parameters: global step
+    count for dense updates, per-row counts for sparse ones, counters
+    seeded from the global step at first sparse touch, moments frozen on
+    skipped rows.
     """
 
     def __init__(self, data, lr=LR, betas=(0.9, 0.999), eps=1e-8):
@@ -60,8 +60,6 @@ class MirrorAdam:
     def sparse_step(self, rows, values):
         self.t += 1
         if self.counts is None:
-            # THE characterized rule: first sparse touch seeds every row's
-            # counter from the global step so far
             self.counts = np.full(self.data.shape[0], self.t - 1,
                                   dtype=np.int64)
         self.counts[rows] += 1
@@ -86,7 +84,7 @@ def _mixed_schedule(seed=0, steps=12):
     return schedule
 
 
-def _run_optimizer(schedule):
+def _run_optimizer(schedule, sync=True):
     p = Parameter(np.zeros(SHAPE))
     opt = Adam([p], lr=LR)
     for kind, payload in schedule:
@@ -96,11 +94,26 @@ def _run_optimizer(schedule):
             rows, values = payload
             p.grad = RowSparseGrad(rows, values.copy(), SHAPE[0])
         opt.step()
+    if sync:
+        opt.sync()
     return p, opt
 
 
-class TestCounterSeeding:
-    def test_first_sparse_touch_seeds_from_global_step(self):
+def _run_dense_reference(schedule):
+    p = Parameter(np.zeros(SHAPE))
+    opt = Adam([p], lr=LR)
+    for kind, payload in schedule:
+        if kind == "dense":
+            p.grad = payload.copy()
+        else:
+            rows, values = payload
+            p.grad = _dense_from(rows, values)
+        opt.step()
+    return p
+
+
+class TestTimestampBookkeeping:
+    def test_first_sparse_touch_after_dense_switches_to_timestamps(self):
         p = Parameter(np.zeros(SHAPE))
         opt = Adam([p], lr=LR)
         for _ in range(4):  # 4 dense steps advance the global clock
@@ -108,11 +121,18 @@ class TestCounterSeeding:
             opt.step()
         p.grad = RowSparseGrad([1, 3], np.ones((2, 3)), SHAPE[0])
         opt.step()
-        counts = opt._row_steps[0]
-        # touched rows: global step 4 + their own touch; others: global 4
-        assert counts.tolist() == [4, 5, 4, 5, 4, 4]
+        # exact regime: no legacy counters; touched rows stamped at step 5,
+        # the rest still current through the last dense step (4)
+        assert opt._row_steps[0] is None
+        assert opt._row_t[0].tolist() == [4, 5, 4, 5, 4, 4]
+
+    def test_sync_brings_every_row_current(self):
+        schedule = _mixed_schedule()
+        p, opt = _run_optimizer(schedule, sync=True)
+        assert np.all(opt._row_t[0] == opt._param_t[0])
 
     def test_dense_steps_advance_all_row_counters(self):
+        # sparse-first parameters keep the legacy per-row-count semantics
         p = Parameter(np.zeros(SHAPE))
         opt = Adam([p], lr=LR)
         p.grad = RowSparseGrad([0], np.ones((1, 3)), SHAPE[0])
@@ -120,25 +140,105 @@ class TestCounterSeeding:
         p.grad = np.ones(SHAPE)
         opt.step()
         assert opt._row_steps[0].tolist() == [2, 1, 1, 1, 1, 1]
+        assert opt._row_t[0] is None
 
 
-class TestCharacterizationAnchor:
-    def test_mirror_implementation_matches_bitwise(self):
-        """Any change to the mixed semantics must break this first."""
+class TestExactnessAnchor:
+    def test_mixed_schedule_matches_dense_reference_bitwise(self):
+        """THE acceptance check: the old deviation band is now exactly 0."""
         schedule = _mixed_schedule()
-        p, _ = _run_optimizer(schedule)
-        mirror = MirrorAdam(np.zeros(SHAPE))
-        for kind, payload in schedule:
+        p_mixed, _ = _run_optimizer(schedule, sync=True)
+        p_ref = _run_dense_reference(schedule)
+        np.testing.assert_array_equal(p_mixed.data, p_ref.data)
+
+    def test_exactness_holds_under_lr_changes(self):
+        """The per-step lr history replays scheduler-decayed rates."""
+        schedule = _mixed_schedule(seed=3, steps=9)
+        p = Parameter(np.zeros(SHAPE))
+        opt = Adam([p], lr=LR)
+        p_ref = Parameter(np.zeros(SHAPE))
+        opt_ref = Adam([p_ref], lr=LR)
+        for step, (kind, payload) in enumerate(schedule):
+            lr = LR * 0.9 ** step
+            opt.lr = opt_ref.lr = lr
             if kind == "dense":
-                mirror.dense_step(payload)
+                p.grad = payload.copy()
+                p_ref.grad = payload.copy()
             else:
                 rows, values = payload
-                mirror.sparse_step(rows, values)
-        np.testing.assert_array_equal(p.data, mirror.data)
+                p.grad = RowSparseGrad(rows, values.copy(), SHAPE[0])
+                p_ref.grad = _dense_from(rows, values)
+            opt.step()
+            opt_ref.step()
+        opt.sync()
+        np.testing.assert_array_equal(p.data, p_ref.data)
+
+    def test_exactness_with_skipped_steps(self):
+        """Steps where the parameter has no grad advance the clock but
+        apply nothing — the replay must honor that."""
+        rng = np.random.default_rng(7)
+        p = Parameter(np.zeros(SHAPE))
+        opt = Adam([p], lr=LR)
+        p_ref = Parameter(np.zeros(SHAPE))
+        opt_ref = Adam([p_ref], lr=LR)
+        moves = ["dense", "sparse", None, "sparse", None, "dense", "sparse"]
+        for kind in moves:
+            if kind == "dense":
+                g = rng.standard_normal(SHAPE)
+                p.grad = g.copy()
+                p_ref.grad = g.copy()
+            elif kind == "sparse":
+                rows = np.sort(rng.choice(SHAPE[0], size=2, replace=False))
+                values = rng.standard_normal((2, 3))
+                p.grad = RowSparseGrad(rows, values.copy(), SHAPE[0])
+                p_ref.grad = _dense_from(rows, values)
+            else:
+                p.grad = None
+                p_ref.grad = None
+            opt.step()
+            opt_ref.step()
+        opt.sync()
+        np.testing.assert_array_equal(p.data, p_ref.data)
+
+    def test_float32_stays_exact(self):
+        schedule = _mixed_schedule(seed=5, steps=8)
+        p = Parameter(np.zeros(SHAPE, dtype=np.float32))
+        opt = Adam([p], lr=LR)
+        p_ref = Parameter(np.zeros(SHAPE, dtype=np.float32))
+        opt_ref = Adam([p_ref], lr=LR)
+        for kind, payload in schedule:
+            if kind == "dense":
+                p.grad = payload.astype(np.float32)
+                p_ref.grad = payload.astype(np.float32)
+            else:
+                rows, values = payload
+                p.grad = RowSparseGrad(rows, values.astype(np.float32),
+                                       SHAPE[0])
+                p_ref.grad = _dense_from(rows, values).astype(np.float32)
+            opt.step()
+            opt_ref.step()
+        opt.sync()
+        np.testing.assert_array_equal(p.data, p_ref.data)
+
+    def test_sync_is_idempotent_and_mid_run_safe(self):
+        schedule = _mixed_schedule(seed=11, steps=10)
+        p_a = Parameter(np.zeros(SHAPE))
+        opt_a = Adam([p_a], lr=LR)
+        for step, (kind, payload) in enumerate(schedule):
+            if kind == "dense":
+                p_a.grad = payload.copy()
+            else:
+                rows, values = payload
+                p_a.grad = RowSparseGrad(rows, values.copy(), SHAPE[0])
+            opt_a.step()
+            if step == 4:
+                opt_a.sync()  # mid-run sync must not change the outcome
+        opt_a.sync()
+        opt_a.sync()
+        p_ref = _run_dense_reference(schedule)
+        np.testing.assert_array_equal(p_a.data, p_ref.data)
 
     def test_all_rows_sparse_step_matches_dense_exactly(self):
-        """Full-row sparse touches are NOT approximate: dense equivalence
-        is exact when every row appears in every sparse step."""
         rng = np.random.default_rng(1)
         grads = [rng.standard_normal(SHAPE) for _ in range(6)]
         p_dense = Parameter(np.zeros(SHAPE))
@@ -154,37 +254,31 @@ class TestCharacterizationAnchor:
             else:         # then sparse steps touching every row
                 p_sparse.grad = RowSparseGrad(all_rows, grad.copy(), SHAPE[0])
             opt_sparse.step()
-        np.testing.assert_allclose(p_sparse.data, p_dense.data,
-                                   rtol=1e-12, atol=1e-15)
+        np.testing.assert_array_equal(p_sparse.data, p_dense.data)
 
 
-class TestApproximationBand:
-    def test_partial_touch_deviation_is_bounded_and_nonzero(self):
-        """The documented tolerance band for the approximation.
-
-        Versus a pure-dense Adam fed the densified versions of the same
-        gradients, the mixed schedule drifts because (a) rows a sparse
-        step skips are *not* updated at all (lazy semantics — the dense
-        reference still moves them on its zero-padded gradient via decayed
-        momentum), (b) skipped rows keep undecayed moments, and (c) bias
-        corrections use per-row counts. Current measured deviation on
-        this pinned schedule: 0.1145 after 12 steps of lr=0.05, i.e.
-        ~2.3 lr units, dominated by the momentum the dense reference
-        applies to skipped rows. The band below (4 lr units) is the
-        regression anchor.
-        """
-        schedule = _mixed_schedule()
-        p_mixed, _ = _run_optimizer(schedule)
-        reference = MirrorAdam(np.zeros(SHAPE))
+class TestLegacySparseFirstCharacterization:
+    def test_mirror_implementation_matches_bitwise(self):
+        """Sparse-first mixing keeps the legacy lazy semantics, pinned by
+        the mirror implementation (the sampled-trainer contract: goldens
+        depend on per-row-count bias corrections)."""
+        rng = np.random.default_rng(2)
+        schedule = []
+        for step in range(10):
+            if step % 3 == 2:  # sparse first, occasional dense afterwards
+                schedule.append(("dense", rng.standard_normal(SHAPE)))
+            else:
+                rows = np.sort(rng.choice(SHAPE[0], size=3, replace=False))
+                schedule.append(("sparse", (rows, rng.standard_normal((3, 3)))))
+        p, opt = _run_optimizer(schedule, sync=False)
+        assert opt._row_t[0] is None  # never entered the exact regime
+        mirror = MirrorAdam(np.zeros(SHAPE))
         for kind, payload in schedule:
             if kind == "dense":
-                reference.dense_step(payload)
+                mirror.dense_step(payload)
             else:
                 rows, values = payload
-                reference.dense_step(_dense_from(rows, values))
-        deviation = np.max(np.abs(p_mixed.data - reference.data))
-        assert deviation > 0.0, "mixed path unexpectedly exact now — " \
-            "update the characterization (and the ROADMAP item)"
-        assert deviation < 4.0 * LR, (
-            f"mixed dense/sparse Adam drifted beyond the documented band: "
-            f"{deviation:.4f} >= {4.0 * LR}")
+                mirror.sparse_step(rows, values)
+        np.testing.assert_array_equal(p.data, mirror.data)
+        opt.sync()  # no-op for legacy-mode parameters
+        np.testing.assert_array_equal(p.data, mirror.data)

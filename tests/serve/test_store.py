@@ -100,3 +100,49 @@ class TestAnnIndexLifecycle:
         index = store.ann_index(num_lists=4)
         assert index.num_items == store.num_items
         assert index.num_lists == 4
+
+
+class TestSnapshotIntegrity:
+    def test_content_hash_recorded_and_stable(self, gnmr):
+        from repro.serve import SnapshotIntegrityError
+
+        store = EmbeddingStore.snapshot(gnmr)
+        assert store.verify() == store.content_hash
+        again = EmbeddingStore.snapshot(gnmr)
+        assert again.content_hash == store.content_hash
+        store.user_matrix[0, 0] += 1.0  # in-place mutation is detected
+        with pytest.raises(SnapshotIntegrityError):
+            store.verify()
+
+    def test_refresh_rebuilds_hash(self, small_taobao):
+        model = GNMR(small_taobao, GNMRConfig(pretrain=False, seed=4))
+        store = EmbeddingStore.snapshot(model)
+        first = store.content_hash
+        model.user_embeddings.data += 0.01
+        model.on_step_end()
+        assert store.refresh(model)
+        assert store.content_hash != first
+        store.verify()
+
+    def test_from_shards_verifies_expected_hash(self, gnmr):
+        from repro.serve import SnapshotIntegrityError
+        from repro.shard import ShardSpec
+
+        reference = EmbeddingStore.snapshot(gnmr)
+        user_spec = ShardSpec(reference.num_users, 2)
+        item_spec = ShardSpec(reference.num_items, 3)
+        user_shards = [reference.user_matrix[rows]
+                       for rows in map(user_spec.shard_rows, range(2))]
+        item_shards = [reference.item_matrix[rows]
+                       for rows in map(item_spec.shard_rows, range(3))]
+        store = EmbeddingStore.from_shards(
+            user_shards, item_shards, user_spec=user_spec,
+            item_spec=item_spec, dtype=None,
+            expected_hash=reference.content_hash)
+        assert store.content_hash == reference.content_hash
+        # a reordered shard list must fail assembly verification
+        with pytest.raises(SnapshotIntegrityError):
+            EmbeddingStore.from_shards(
+                list(reversed(user_shards)), item_shards,
+                user_spec=user_spec, item_spec=item_spec, dtype=None,
+                expected_hash=reference.content_hash)

@@ -49,3 +49,54 @@ class TestRoundtrip:
         users, items = np.array([0, 1]), np.array([2, 3])
         np.testing.assert_allclose(model.score(users, items),
                                    clone.score(users, items))
+
+
+class TestIntegrity:
+    def test_hashes_recorded_and_verified(self, model, tmp_path):
+        from repro.utils import array_sha256
+
+        path = save_checkpoint(model, tmp_path / "h")
+        meta = load_checkpoint(model, path)
+        hashes = meta["array_sha256"]
+        state = model.state_dict()
+        assert set(hashes) == set(state)
+        for name, value in state.items():
+            assert hashes[name] == array_sha256(value)
+
+    def test_corrupted_array_raises(self, model, tmp_path):
+        from repro.utils import CheckpointIntegrityError
+
+        path = save_checkpoint(model, tmp_path / "c")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        name = next(k for k in payload if not k.startswith("__"))
+        payload[name] = payload[name].copy()
+        payload[name].flat[0] += 1.0
+        np.savez_compressed(path, **payload)
+        with pytest.raises(CheckpointIntegrityError, match="hash mismatch"):
+            load_checkpoint(model, path)
+        # verify=False loads the patched archive anyway
+        meta = load_checkpoint(model, path, verify=False)
+        assert "array_sha256" in meta
+
+    def test_legacy_checkpoint_without_hashes_loads(self, model, tmp_path):
+        import json
+
+        path = save_checkpoint(model, tmp_path / "legacy")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(payload["__checkpoint_meta__"]).decode())
+        del meta["array_sha256"]
+        payload["__checkpoint_meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **payload)
+        meta = load_checkpoint(model, path)
+        assert "array_sha256" not in meta
+
+    def test_array_sha256_sensitive_to_dtype_and_shape(self):
+        from repro.utils import array_sha256
+
+        a = np.arange(6, dtype=np.float64)
+        assert array_sha256(a) != array_sha256(a.astype(np.float32))
+        assert array_sha256(a) != array_sha256(a.reshape(2, 3))
+        assert array_sha256(a) == array_sha256(a.copy())
