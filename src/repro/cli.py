@@ -137,7 +137,12 @@ def cmd_train(args) -> int:
             train_overrides["dist_workers"] = args.dist_workers
         train_overrides["dist_staleness"] = args.dist_staleness
         train_overrides["dist_transport"] = args.dist_transport
-    model.fit(split.train, scale.train_config(**train_overrides))
+    if args.save_state:
+        train_overrides["save_state"] = args.save_state
+        if args.save_every_steps is not None:
+            train_overrides["save_every_steps"] = args.save_every_steps
+    model.fit(split.train, scale.train_config(**train_overrides),
+              resume_from=args.resume)
     if args.eval == "full":
         outcome = evaluate_full_ranking(model, split.train,
                                         split.test_users, split.test_items)
@@ -305,6 +310,26 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_reshard(args) -> int:
+    from repro.shard.reshard import ReshardError, reshard_file
+
+    output = args.output or args.checkpoint
+    try:
+        info = reshard_file(args.checkpoint, output, args.shards,
+                            strategy=args.strategy,
+                            old_strategy=args.old_strategy)
+    except ReshardError as exc:
+        print(f"reshard failed: {exc}", file=sys.stderr)
+        return 1
+    tables = ", ".join(f"{base} ({spec['rows']} rows, "
+                       f"{spec['old_shards']}->{args.shards} shards)"
+                       for base, spec in info["tables"].items())
+    print(f"resharded {info['format']} to {args.shards} "
+          f"{info['strategy']} shards: {tables}")
+    print(f"written to {output}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.experiments.report import OUTPUT, generate
 
@@ -383,6 +408,18 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["range", "hash"],
                          help="row partitioning: contiguous ranges or "
                               "modulo hashing (balances skewed ids)")
+    p_train.add_argument("--save-state", default=None,
+                         help="write a resumable training state here "
+                              "(atomic; end of run, plus mid-run with "
+                              "--save-every-steps)")
+    p_train.add_argument("--save-every-steps", type=int, default=None,
+                         help="also save the training state every N global "
+                              "steps (requires --save-state; crash-safe "
+                              "resume points)")
+    p_train.add_argument("--resume", default=None,
+                         help="resume bit-exactly from a training state "
+                              "written by --save-state (config must match; "
+                              "--epochs may grow)")
     def add_serving_args(p) -> None:
         """Flags shared by ``recommend`` and ``serve`` (one model, one
         service — the commands differ only in how requests arrive)."""
@@ -455,6 +492,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--ready-file", default=None,
                          help="also write the JSON readiness line here "
                               "(for supervisors / smoke tests)")
+    p_reshard = sub.add_parser(
+        "reshard",
+        help="migrate a checkpoint or training state to a new shard "
+             "layout (repro.shard.reshard; exact — rows and their "
+             "optimizer state move bit-for-bit)")
+    p_reshard.add_argument("--checkpoint", required=True,
+                           help=".npz checkpoint or training state to "
+                                "migrate")
+    p_reshard.add_argument("--output", default=None,
+                           help="destination path (default: overwrite the "
+                                "input atomically)")
+    p_reshard.add_argument("--shards", type=int, required=True,
+                           help="target shard count K'")
+    p_reshard.add_argument("--strategy", default=None,
+                           choices=["range", "hash"],
+                           help="target partitioning (default: keep the "
+                                "file's recorded strategy)")
+    p_reshard.add_argument("--old-strategy", default=None,
+                           choices=["range", "hash"],
+                           help="partitioning the file was written under "
+                                "(default: its recorded strategy)")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
 
     for p in (p_stats, p_run, p_train, p_rec, p_serve):
@@ -468,7 +526,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"stats": cmd_stats, "run": cmd_run, "train": cmd_train,
                 "recommend": cmd_recommend, "serve": cmd_serve,
-                "report": cmd_report}
+                "reshard": cmd_reshard, "report": cmd_report}
     return handlers[args.command](args)
 
 

@@ -39,6 +39,10 @@ VERSION = 1
 
 KIND_PUSH = 1
 KIND_STOP = 2
+#: control-plane request: the owner replies with its optimizer state over
+#: the dedicated state pipe (mid-run checkpointing pulls the state the
+#: owner processes hold)
+KIND_STATE = 3
 
 _TAG_NONE = 0
 _TAG_ROWSPARSE = 1
@@ -172,6 +176,11 @@ def encode_stop() -> bytes:
     return _HEADER.pack(MAGIC, VERSION, KIND_STOP, 0, 0.0, 0)
 
 
+def encode_state_request() -> bytes:
+    """A STATE frame body (owner sends optimizer state back, keeps going)."""
+    return _HEADER.pack(MAGIC, VERSION, KIND_STATE, 0, 0.0, 0)
+
+
 def decode(body: bytes) -> tuple[int, int, float, list]:
     """Decode one frame body → ``(kind, step, lr, grads)``."""
     reader = _Reader(body)
@@ -180,7 +189,7 @@ def decode(body: bytes) -> tuple[int, int, float, list]:
         raise FrameError(f"bad magic 0x{magic:04x} (expected 0x{MAGIC:04x})")
     if version != VERSION:
         raise FrameError(f"unsupported frame version {version}")
-    if kind not in (KIND_PUSH, KIND_STOP):
+    if kind not in (KIND_PUSH, KIND_STOP, KIND_STATE):
         raise FrameError(f"unknown frame kind {kind}")
     grads = [_decode_grad(reader) for _ in range(count)]
     reader.done()

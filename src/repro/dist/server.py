@@ -43,9 +43,11 @@ import numpy as np
 
 from repro.dist.codec import (
     KIND_PUSH,
+    KIND_STATE,
     KIND_STOP,
     decode,
     encode_push,
+    encode_state_request,
     encode_stop,
     frame,
 )
@@ -93,6 +95,13 @@ class ShardOwner:
             raise TransportError(
                 f"push frame carries {len(grads)} gradients for "
                 f"{len(self.params)} owned parameters")
+        if step != self.applied + 1:
+            # the trainer numbers pushes densely, so any gap or repeat
+            # means the transport dropped or replayed a frame — refuse to
+            # step rather than silently diverge from the trainer's clock
+            raise TransportError(
+                f"out-of-sequence push: step {step} after applied "
+                f"{self.applied} (a frame was dropped or duplicated)")
         self.optimizer.lr = lr
         for p, g in zip(self.params, grads):
             p.grad = g
@@ -102,17 +111,31 @@ class ShardOwner:
         self.applied = step
         return step
 
-    def apply_frame(self, body: bytes) -> tuple[int, bool]:
-        """Decode + apply one frame body → ``(step, keep_running)``."""
+    def apply_frame(self, body: bytes) -> tuple[int, int]:
+        """Decode + apply one frame body → ``(step, kind)``.
+
+        PUSH frames step the optimizer and return the applied step; STOP
+        and STATE frames leave parameters untouched and return the last
+        applied step (the caller dispatches on the kind: STOP exits the
+        loop, STATE replies with :meth:`state_dict`).
+        """
         kind, step, lr, grads = decode(body)
-        if kind == KIND_STOP:
-            return self.applied, False
-        assert kind == KIND_PUSH
-        return self.apply(step, lr, grads), True
+        if kind != KIND_PUSH:
+            return self.applied, kind
+        return self.apply(step, lr, grads), KIND_PUSH
+
+    def state_dict(self) -> list[dict]:
+        """Per-parameter optimizer state, in owned-parameter order."""
+        return self.optimizer.state_dict()
+
+    def load_state(self, states: list[dict]) -> None:
+        """Restore optimizer state saved by a previous run's pull."""
+        self.optimizer.load_state_dict(states)
 
 
 def _owner_main(worker_id, optimizer, lr, block_handles, channel,
-                clock_handle, ack):  # pragma: no cover - subprocess body
+                clock_handle, ack, state_conn=None,
+                initial_state=None):  # pragma: no cover - subprocess body
     """Owner process entrypoint (runs in the worker, never the trainer)."""
     blocks = [SharedBlock.attach(h) for h in block_handles]
     chan = ShmRing.attach(channel) if isinstance(channel, RingHandle) else channel
@@ -123,16 +146,22 @@ def _owner_main(worker_id, optimizer, lr, block_handles, channel,
         p.data = block.array  # guarantee the shm view, never a copy
         params.append(p)
     owner = ShardOwner(params, optimizer=optimizer, lr=lr)
+    if initial_state is not None:
+        owner.load_state(initial_state)
     try:
         running = True
         while running:
             body = chan.recv(timeout=1.0)
             if body is None:
                 continue  # idle tick; daemon flag handles a dead trainer
-            step, running = owner.apply_frame(body)
-            if running:
+            step, kind = owner.apply_frame(body)
+            if kind == KIND_PUSH:
                 clock_block.array[worker_id] = step
                 ack.release()
+            elif kind == KIND_STATE:
+                state_conn.send(owner.state_dict())
+            else:
+                running = False
     finally:
         chan.close()
         clock_block.close()
@@ -171,7 +200,7 @@ class DistParameterServer:
                  lr: float = 1e-3, workers: int | None = None,
                  staleness: int = 0, transport: str = "shm",
                  ring_capacity: int = 1 << 22, start_method: str | None = None,
-                 timeout: float = 120.0):
+                 timeout: float = 120.0, initial_state: list | None = None):
         if transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {transport!r} "
                              f"(use one of {TRANSPORTS})")
@@ -191,10 +220,24 @@ class DistParameterServer:
         self._timeout = timeout
         self._pushed = 0
         self._closed = False
+        #: owned parameters in flat group order — the order
+        #: :meth:`pull_state` reports and ``initial_state`` expects
+        self.flat_params: list = [p for g in groups for p in g["params"]]
         # round-robin shard → worker assignment, shard order preserved
         self._owned_params: list[list] = [
             [p for g in groups[w::self.num_workers] for p in g["params"]]
             for w in range(self.num_workers)]
+        if initial_state is not None:
+            initial_state = list(initial_state)
+            if len(initial_state) != len(self.flat_params):
+                raise ValueError(
+                    f"initial_state covers {len(initial_state)} parameters, "
+                    f"bridge owns {len(self.flat_params)}")
+            by_id = {id(p): s for p, s in zip(self.flat_params, initial_state)}
+            self._initial_state = [[by_id[id(p)] for p in params]
+                                   for params in self._owned_params]
+        else:
+            self._initial_state = None
         ctx = (multiprocessing.get_context(start_method)
                if start_method or transport != "inline"
                else multiprocessing)
@@ -208,6 +251,9 @@ class DistParameterServer:
         self._owners = [ShardOwner(params, optimizer=self._optimizer_kind,
                                    lr=self.lr)
                         for params in self._owned_params]
+        if self._initial_state is not None:
+            for owner, states in zip(self._owners, self._initial_state):
+                owner.load_state(states)
         self._blocks: list = []
         self._procs: list = []
 
@@ -227,6 +273,7 @@ class DistParameterServer:
             np.full(self.num_workers, -1, dtype=np.int64))
         self._acks = [ctx.Semaphore(0) for _ in range(self.num_workers)]
         self._channels = []
+        self._state_conns = []
         self._procs = []
         for w, blocks in enumerate(self._param_blocks):
             if self.transport == "shm":
@@ -235,14 +282,22 @@ class DistParameterServer:
             else:
                 sender, child_arg = PipeChannel.pair(ctx)
             self._channels.append(sender)
+            # control plane for state pulls: tiny, rare, and pickled — the
+            # struct codec stays the data plane for every gradient frame
+            state_recv, state_send = ctx.Pipe(duplex=False)
+            self._state_conns.append(state_recv)
+            initial = (None if self._initial_state is None
+                       else self._initial_state[w])
             proc = ctx.Process(
                 target=_owner_main,
                 args=(w, self._optimizer_kind, self.lr,
                       [b.handle for b in blocks], child_arg,
-                      self._clock.handle, self._acks[w]),
+                      self._clock.handle, self._acks[w], state_send,
+                      initial),
                 daemon=True, name=f"shard-owner-{w}")
             proc.start()
             self._procs.append(proc)
+            state_send.close()  # the child keeps its end
 
     # -- the step protocol ---------------------------------------------
     def push(self, lr: float | None = None) -> int:
@@ -304,6 +359,40 @@ class DistParameterServer:
         """Wait until every in-flight push is applied (eval/checkpoint)."""
         self.wait_applied(self._pushed - 1)
 
+    def pull_state(self) -> list[dict]:
+        """Optimizer state per owned parameter, in ``flat_params`` order.
+
+        Drains first so the state reflects every push made so far, then
+        asks each owner process for its optimizer's
+        :meth:`~repro.nn.optim.Optimizer.state_dict` over the control
+        pipe. Feeding the result back as ``initial_state`` (same parameter
+        order) makes a fresh bridge continue bit-exactly.
+        """
+        if self._closed:
+            raise TransportError("parameter server is closed")
+        self.drain()
+        if self._owners is not None:  # inline: the state is right here
+            per_worker = [o.state_dict() for o in self._owners]
+        else:
+            for w, chan in enumerate(self._channels):
+                chan.send(frame(encode_state_request()), timeout=self._timeout,
+                          alive=self._procs[w].is_alive)
+            per_worker = []
+            for w, conn in enumerate(self._state_conns):
+                if not conn.poll(self._timeout):
+                    raise TransportError(
+                        f"timed out waiting for shard owner {w}'s state")
+                per_worker.append(conn.recv())
+        by_id = {}
+        for params, states in zip(self._owned_params, per_worker):
+            if len(states) != len(params):  # pragma: no cover - defensive
+                raise TransportError(
+                    f"owner returned {len(states)} parameter states for "
+                    f"{len(params)} owned parameters")
+            for p, s in zip(params, states):
+                by_id[id(p)] = s
+        return [by_id[id(p)] for p in self.flat_params]
+
     # -- teardown ------------------------------------------------------
     def applied_steps(self) -> list[int]:
         """Per-worker applied clock (diagnostics + staleness metrics)."""
@@ -346,6 +435,8 @@ class DistParameterServer:
                     p.data = np.array(block.array)
             for chan in self._channels:
                 chan.close()
+            for conn in self._state_conns:
+                conn.close()
             for block in self._blocks:
                 block.close()
             self._clock.close()

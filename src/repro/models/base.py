@@ -161,11 +161,15 @@ class Recommender(Module):
     # training
     # ------------------------------------------------------------------
     def fit(self, train: InteractionDataset, config: TrainConfig | None = None,
-            eval_fn=None) -> HistoryRecorder:
-        """Train with the paper's pairwise objective; returns history."""
+            eval_fn=None, resume_from: str | None = None) -> HistoryRecorder:
+        """Train with the paper's pairwise objective; returns history.
+
+        ``resume_from`` continues bit-exactly from a training-state file a
+        previous run wrote via ``TrainConfig.save_state``.
+        """
         config = config or TrainConfig()
         trainer = Trainer(self, train, config, eval_fn=eval_fn)
-        return trainer.run()
+        return trainer.run(resume_from=resume_from)
 
     # ------------------------------------------------------------------
     # serving API

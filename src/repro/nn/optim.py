@@ -157,6 +157,33 @@ class Optimizer:
         updates it skipped on rows absent from sparse gradients.
         """
 
+    # -- state serialization (mid-run checkpointing / resharding) --------
+    def _param_state(self, i: int) -> dict:
+        """Serializable state for parameter ``i`` (stateless = empty)."""
+        return {}
+
+    def _load_param_state(self, i: int, state: dict) -> None:
+        if state:
+            raise ValueError(f"{type(self).__name__} carries no per-parameter "
+                             f"state, got keys {sorted(state)}")
+
+    def state_dict(self) -> list[dict]:
+        """Per-parameter state, one dict per parameter in declaration order.
+
+        Values are numpy arrays or plain Python scalars; loading the result
+        back through :meth:`load_state_dict` reproduces the optimizer's
+        behavior bit-exactly from this point on.
+        """
+        return [self._param_state(i) for i in range(len(self.parameters))]
+
+    def load_state_dict(self, states: list[dict]) -> None:
+        states = list(states)
+        if len(states) != len(self.parameters):
+            raise ValueError(f"state covers {len(states)} parameters, "
+                             f"optimizer has {len(self.parameters)}")
+        for i, state in enumerate(states):
+            self._load_param_state(i, dict(state))
+
 
 class SGD(Optimizer):
     """Vanilla stochastic gradient descent."""
@@ -200,6 +227,13 @@ class Momentum(Optimizer):
                 v -= self.lr * p.grad
                 p.data += v
 
+    def _param_state(self, i: int) -> dict:
+        return {"velocity": np.array(self._velocity[i])}
+
+    def _load_param_state(self, i: int, state: dict) -> None:
+        self._velocity[i][...] = state.pop("velocity")
+        super()._load_param_state(i, state)
+
 
 class Adagrad(Optimizer):
     """Adagrad with accumulated squared gradients (naturally lazy)."""
@@ -222,6 +256,13 @@ class Adagrad(Optimizer):
             else:
                 acc += p.grad ** 2
                 p.data -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+
+    def _param_state(self, i: int) -> dict:
+        return {"accum": np.array(self._accum[i])}
+
+    def _load_param_state(self, i: int, state: dict) -> None:
+        self._accum[i][...] = state.pop("accum")
+        super()._load_param_state(i, state)
 
 
 class Adam(Optimizer):
@@ -407,3 +448,46 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _param_state(self, i: int) -> dict:
+        """Full Adam state for parameter ``i``, including the exact
+        mixed-mode regime raw (un-synced) — loading it back continues the
+        deferred replay bit-exactly."""
+        state = {
+            "m": np.array(self._m[i]),
+            "v": np.array(self._v[i]),
+            "param_t": int(self._param_t[i]),
+            "saw_dense": bool(self._saw_dense[i]),
+            "hist_base": int(self._hist_base[i]),
+        }
+        if self._row_steps[i] is not None:
+            state["row_steps"] = np.array(self._row_steps[i])
+        if self._row_t[i] is not None:
+            state["row_t"] = np.array(self._row_t[i])
+            # (had_grad, lr) pairs as a (n, 2) float64 block; lr round-trips
+            # exactly (float64 in, float64 out) and had_grad is 0.0/1.0
+            hist = self._lr_hist[i]
+            state["lr_hist"] = np.array(
+                [(1.0 if had else 0.0, lr) for had, lr in hist],
+                dtype=np.float64).reshape(len(hist), 2)
+        return state
+
+    def _load_param_state(self, i: int, state: dict) -> None:
+        self._m[i][...] = state.pop("m")
+        self._v[i][...] = state.pop("v")
+        self._param_t[i] = int(state.pop("param_t"))
+        self._saw_dense[i] = bool(state.pop("saw_dense"))
+        self._hist_base[i] = int(state.pop("hist_base"))
+        if "row_steps" in state:
+            self._row_steps[i] = np.array(state.pop("row_steps"),
+                                          dtype=np.int64)
+        else:
+            self._row_steps[i] = None
+        if "row_t" in state:
+            self._row_t[i] = np.array(state.pop("row_t"), dtype=np.int64)
+            hist = np.asarray(state.pop("lr_hist"), dtype=np.float64)
+            self._lr_hist[i] = [(bool(had), float(lr)) for had, lr in hist]
+        else:
+            self._row_t[i] = None
+            self._lr_hist[i] = None
+        super()._load_param_state(i, state)

@@ -42,6 +42,8 @@ from urllib.parse import parse_qs, urlparse
 
 import numpy as np
 
+from repro.serve.store import SnapshotIntegrityError
+
 
 class ServerBusy(RuntimeError):
     """The batcher's bounded queue is full — shed load (HTTP 503)."""
@@ -322,6 +324,7 @@ class ServingStats:
                           "cold": 0, "errors": 0}
         self._swaps = 0
         self._swap_errors = 0
+        self._rollbacks = 0
         self._windows = {stage: LatencyWindow() for stage in self.STAGES}
 
     def record_request(self, route: str) -> None:
@@ -341,6 +344,10 @@ class ServingStats:
         with self._lock:
             self._swap_errors += 1
 
+    def record_rollback(self) -> None:
+        with self._lock:
+            self._rollbacks += 1
+
     def record_latency(self, stage: str, seconds: float | None) -> None:
         if seconds is not None:
             self._windows[stage].record(seconds)
@@ -353,12 +360,14 @@ class ServingStats:
         with self._lock:
             counters = dict(self._counters)
             swaps, swap_errors = self._swaps, self._swap_errors
+            rollbacks = self._rollbacks
         return {
             "uptime_s": self.uptime_s,
             "requests": counters,
             "latency_ms": {stage: window.snapshot()
                            for stage, window in self._windows.items()},
-            "snapshot": {"swaps": swaps, "swap_errors": swap_errors},
+            "snapshot": {"swaps": swaps, "swap_errors": swap_errors,
+                         "rollbacks": rollbacks},
         }
 
 
@@ -456,11 +465,27 @@ class RecommendationHTTPServer(ThreadingHTTPServer):
         flips ``service.retriever`` to a new object in one assignment —
         requests that already grabbed the old retriever finish on the
         old snapshot. Returns whether a swap happened.
+
+        A snapshot that fails integrity verification during the swap
+        (mutated serving tables, a producer-hash mismatch) is *rejected*:
+        the error is counted in ``swap_errors``, the service rolls back
+        to the newest archived good snapshot (counted in ``rollbacks``),
+        and requests keep bit-matching the last good tables — ``/healthz``
+        never goes red over a bad swap.
         """
         service = self.service
         if service.store is None or not service.store.is_stale(service.model):
             return False
-        service.reload()
+        try:
+            service.reload()
+        except SnapshotIntegrityError:
+            self.stats.record_swap_error()
+            try:
+                service.recover()
+                self.stats.record_rollback()
+            except ValueError:
+                pass  # nothing archived yet — current tables stay up
+            return False
         self.stats.record_swap()
         return True
 

@@ -83,7 +83,7 @@ class RecommendationService:
                  k_default: int = 10, batch_users: int = 256,
                  exclude: str | tuple | list | None = "target",
                  auto_refresh: bool = True, retriever: str = "exact",
-                 ann: dict | None = None):
+                 ann: dict | None = None, retain: int = 2):
         if retriever not in ("exact", "ivf"):
             raise ValueError(f"unknown retriever {retriever!r}; "
                              "expected 'exact' or 'ivf'")
@@ -96,6 +96,7 @@ class RecommendationService:
         self.auto_refresh = auto_refresh
         self.retriever_kind = retriever
         self.ann_options = dict(ann or {})
+        self.retain = int(retain)
         # Guards the snapshot lifecycle (reload / freshness check) against
         # concurrent callers — the HTTP tier runs the freshness check on a
         # background thread while request threads call ``recommend``.
@@ -132,7 +133,8 @@ class RecommendationService:
 
     def _cold_load(self) -> None:
         """Rebuild everything: snapshot, exclusion mask, retriever."""
-        self.store = EmbeddingStore.snapshot(self.model, dtype=self.dtype)
+        self.store = EmbeddingStore.snapshot(self.model, dtype=self.dtype,
+                                             retain=self.retain)
         if self.train is not None and self.exclude_behaviors is not None:
             self.exclusions = ExclusionMask.from_dataset(
                 self.train, behaviors=self.exclude_behaviors)
@@ -156,6 +158,25 @@ class RecommendationService:
             changed = self.store.refresh(self.model, force=True)
             self._rewire_retriever()
             return changed
+
+    def recover(self, version: int | None = None) -> int | None:
+        """Roll the snapshot back to an archived good version and rewire.
+
+        The serving-tier escape hatch: when a hot swap produced (or a
+        freshness check discovered) a snapshot that fails integrity
+        verification, ``recover()`` restores the newest archived snapshot
+        — hash-verified on restore — and swaps in a retriever built over
+        it, so requests go back to bit-matching the last good tables.
+        Returns the restored engine version; raises ``ValueError`` when
+        nothing is archived (or for brute-force models with no snapshot).
+        """
+        with self._lock:
+            if self.store is None:
+                raise ValueError(
+                    "brute-force serving has no snapshot to roll back")
+            restored = self.store.rollback(version)
+            self._rewire_retriever()
+            return restored
 
     def _rewire_retriever(self) -> None:
         """Swap in a retriever built against the refreshed snapshot.

@@ -11,6 +11,8 @@ tell when a retrain has made it stale.
 
 from __future__ import annotations
 
+import collections
+
 import numpy as np
 
 from repro.serve.retriever import MatrixBackend
@@ -51,14 +53,23 @@ class EmbeddingStore:
         ranking is bandwidth-bound and the retriever re-ranks in float64.
     source:
         Human-readable provenance label (model name).
+    retain:
+        Archived snapshots kept for :meth:`rollback` (keep-last-N). Every
+        :meth:`refresh` pushes the outgoing tables onto the archive after
+        verifying their hash, so a bad swap can always be undone back to
+        the last N good versions. ``0`` disables the archive.
     """
 
     def __init__(self, user_matrix: np.ndarray, item_matrix: np.ndarray,
                  version: int | None = None, dtype="float32",
-                 source: str = "unknown"):
+                 source: str = "unknown", retain: int = 2):
+        if retain < 0:
+            raise ValueError("retain must be >= 0")
         self.dtype = np.dtype(dtype) if dtype is not None else None
         self.version = version
         self.source = source
+        #: keep-last-N archive of verified outgoing snapshots (oldest first)
+        self._history: collections.deque = collections.deque(maxlen=retain)
         self._set_matrices(user_matrix, item_matrix)
 
     def _set_matrices(self, user_matrix, item_matrix) -> None:
@@ -81,7 +92,8 @@ class EmbeddingStore:
 
     # ------------------------------------------------------------------
     @classmethod
-    def snapshot(cls, model, dtype="float32") -> "EmbeddingStore | None":
+    def snapshot(cls, model, dtype="float32",
+                 retain: int = 2) -> "EmbeddingStore | None":
         """Snapshot a model's serving embeddings; ``None`` if it has none.
 
         Models without a factored form (``serving_embeddings()`` returning
@@ -94,7 +106,8 @@ class EmbeddingStore:
             return None
         user_matrix, item_matrix = embeddings
         return cls(user_matrix, item_matrix, version=model_version(model),
-                   dtype=dtype, source=getattr(model, "name", "unknown"))
+                   dtype=dtype, source=getattr(model, "name", "unknown"),
+                   retain=retain)
 
     @classmethod
     def from_shards(cls, user_shards, item_shards, *,
@@ -219,18 +232,86 @@ class EmbeddingStore:
             return False
         return current != self.version
 
-    def refresh(self, model, force: bool = False) -> bool:
+    def refresh(self, model, force: bool = False,
+                expected_hash: str | None = None) -> bool:
         """Re-snapshot from the model if stale (or ``force``d).
+
+        Every transition is hash-verified on both sides: the *outgoing*
+        tables must still match the fingerprint recorded when they were
+        built (a mutated supposedly-frozen snapshot raises
+        :class:`SnapshotIntegrityError` instead of getting archived as
+        "good"), and with ``expected_hash`` the *incoming* tables must
+        match the producer's fingerprint — on mismatch the outgoing
+        snapshot is put back and the error raised, so a corrupt rebuild
+        never serves. The verified outgoing snapshot lands on the
+        keep-last-N archive for :meth:`rollback`.
 
         Returns ``True`` when the tables were actually rebuilt.
         """
         if not force and not self.is_stale(model):
             return False
+        self.verify()  # never archive (or discard) corrupt tables silently
         embeddings = model.serving_embeddings()
         if embeddings is None:
             raise ValueError(
                 f"model {getattr(model, 'name', model)!r} no longer exposes "
                 "serving embeddings")
+        self._archive_current()
         self._set_matrices(*embeddings)
+        if expected_hash is not None:
+            try:
+                self.verify(expected_hash)
+            except SnapshotIntegrityError:
+                if self._history:
+                    self.rollback()
+                raise
         self.version = model_version(model)
         return True
+
+    # ------------------------------------------------------------------
+    # retention + rollback
+    # ------------------------------------------------------------------
+    def _archive_current(self) -> None:
+        """Push the current (verified) tables onto the keep-last-N archive."""
+        if self._history.maxlen == 0:
+            return
+        self._history.append({
+            "version": self.version,
+            "user_matrix": self.user_matrix,
+            "item_matrix": self.item_matrix,
+            "content_hash": self.content_hash,
+            "source": self.source,
+        })
+
+    def history_versions(self) -> list[int | None]:
+        """Versions available to :meth:`rollback`, oldest first."""
+        return [record["version"] for record in self._history]
+
+    def rollback(self, version: int | None = None) -> int | None:
+        """Restore an archived snapshot (the newest one by default).
+
+        ``version`` picks a specific archived engine version; everything
+        archived after it is discarded (rolling back past a snapshot
+        abandons it). The restored tables are re-hashed against the
+        fingerprint recorded at archive time — an archive that rotted in
+        memory raises :class:`SnapshotIntegrityError` rather than serving
+        silently wrong scores. Returns the restored version.
+        """
+        if version is not None and not any(
+                record["version"] == version for record in self._history):
+            raise ValueError(
+                f"no archived snapshot with version {version}; available: "
+                f"{self.history_versions()}")
+        record = None
+        while self._history:
+            record = self._history.pop()
+            if version is None or record["version"] == version:
+                break
+        if record is None:
+            raise ValueError("no archived snapshot to roll back to "
+                             "(retain=0, or no refresh has happened yet)")
+        self._set_matrices(record["user_matrix"], record["item_matrix"])
+        self.verify(record["content_hash"])
+        self.version = record["version"]
+        self.source = record["source"]
+        return self.version

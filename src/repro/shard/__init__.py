@@ -13,7 +13,9 @@ that partitioning, kept bit-compatible with the unsharded path:
   parameters with the same ``rows()`` / forward surface as
   ``nn.Embedding`` (and raw ``Parameter`` tables);
 * :class:`GradRouter` — split/merge/apply between full-table gradients
-  and shard-local ones.
+  and shard-local ones;
+* :mod:`repro.shard.reshard` — exact K→K' migration of checkpoints and
+  training states (rows and their optimizer state move bit-for-bit).
 
 The contract, enforced by ``tests/shard/``: ``shards=1`` bit-matches the
 unsharded float64 goldens; ``shards=K`` matches ``shards=1`` bit-exactly
@@ -31,12 +33,16 @@ from repro.shard.embedding import (
     table_tensor,
 )
 from repro.shard.router import GradRouter
+from repro.shard.reshard import ReshardError, reshard_file, reshard_state
 
 __all__ = [
     "ShardSpec",
     "STRATEGIES",
     "ShardedEmbedding",
     "GradRouter",
+    "ReshardError",
+    "reshard_file",
+    "reshard_state",
     "table_array",
     "table_parameters",
     "table_rows",

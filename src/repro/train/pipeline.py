@@ -90,13 +90,15 @@ class SampledBatchPipeline:
     def __init__(self, draw_batch: Callable[[np.random.Generator], Any],
                  extract: Callable[[Any, np.random.Generator], Any],
                  total_steps: int, *, seed: int = 0, workers: int = 1,
-                 depth: int = 2):
+                 depth: int = 2, start_step: int = 0):
         if total_steps < 0:
             raise ValueError("total_steps must be >= 0")
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if depth < 1:
             raise ValueError("depth must be >= 1")
+        if start_step < 0 or start_step > total_steps:
+            raise ValueError("start_step must be in [0, total_steps]")
         self._draw_batch = draw_batch
         self._extract = extract
         self.total_steps = int(total_steps)
@@ -113,8 +115,16 @@ class SampledBatchPipeline:
         # construction stays O(1) however many total steps the run has.
         self._extract_ss = extract_ss
 
-        self._produced = 0      # next step to enqueue (batch already drawn)
-        self._consumed = 0      # next step to hand out
+        # mid-epoch resume: fast-forward the batch stream through the steps
+        # a previous run already consumed. Replaying the draws (rather than
+        # restoring a live generator state) keeps the cursor exact even
+        # though prefetching advances _batch_rng ahead of the consumed
+        # step; per-step extraction rngs are derived from the absolute step
+        # index so they need no fast-forward at all.
+        for _ in range(start_step):
+            self._draw_batch(self._batch_rng)
+        self._produced = start_step  # next step to enqueue (batch drawn)
+        self._consumed = start_step  # next step to hand out
         self._stop = False
         self._threads: list[threading.Thread] = []
         self._in_queues: list[queue.Queue] = []

@@ -126,6 +126,14 @@ class TrainConfig:
     #: default), "pipe" (socket/pipe fallback), or "inline" (owners run
     #: in-process through the full wire codec — tests/fallback)
     dist_transport: str = "shm"
+    #: path of the training-state file (:mod:`repro.train.resume`) this run
+    #: maintains: written atomically every ``save_every_steps`` steps and
+    #: once more at the end of the run. ``Trainer.run(resume_from=...)``
+    #: continues from such a file bit-exactly
+    save_state: str | None = None
+    #: mid-epoch save cadence in global steps (``None`` → only the
+    #: end-of-run save); requires ``save_state``
+    save_every_steps: int | None = None
 
     def __post_init__(self):
         if self.fanout != "model":
@@ -150,6 +158,12 @@ class TrainConfig:
                 raise ValueError("dist_workers must be >= 1 (or None)")
             if self.dist_staleness < 0:
                 raise ValueError("dist_staleness must be >= 0")
+        if self.save_every_steps is not None:
+            if self.save_every_steps < 1:
+                raise ValueError("save_every_steps must be >= 1 (or None)")
+            if self.save_state is None:
+                raise ValueError("save_every_steps requires save_state "
+                                 "(where would the state go?)")
 
     def fanout_kwargs(self) -> dict:
         """``{"fanout": ...}`` for the model calls, or ``{}`` to defer.
@@ -206,7 +220,8 @@ class Trainer:
     """
 
     def __init__(self, model, train_data: InteractionDataset, config: TrainConfig,
-                 eval_fn: Callable[[], float] | None = None):
+                 eval_fn: Callable[[], float] | None = None,
+                 step_hook: Callable[["Trainer", int], None] | None = None):
         if config.loss not in _LOSSES:
             raise ValueError(f"unknown loss {config.loss!r}")
         if config.propagation not in ("full", "sampled", "async"):
@@ -224,6 +239,10 @@ class Trainer:
         self.data = train_data
         self.config = config
         self.eval_fn = eval_fn
+        #: called as ``step_hook(trainer, global_step)`` after every loop
+        #: iteration — the fault-injection substrate's crash point, also
+        #: handy for external progress reporting
+        self.step_hook = step_hook
         self.history = HistoryRecorder()
         self._rng = np.random.default_rng(config.seed)
         self._graph = train_data.graph()
@@ -231,14 +250,22 @@ class Trainer:
         degrees = self._graph.user_degree(train_data.target_behavior)
         self._eligible = np.flatnonzero(degrees > 0)
 
-    def run(self) -> HistoryRecorder:
-        """Train for the configured epochs; returns the history."""
+    def run(self, resume_from: str | None = None) -> HistoryRecorder:
+        """Train for the configured epochs; returns the history.
+
+        ``resume_from`` names a training-state file written by a previous
+        run with ``TrainConfig.save_state`` set; training continues from
+        its exact cursor (epoch, step, rng streams, optimizer clocks) —
+        the combined history is bit-identical to one uninterrupted run.
+        The resuming config must match the saved one on every field that
+        shapes the training stream (``epochs`` may grow).
+        """
         from repro.tensor import default_dtype
 
         with default_dtype(self.config.dtype):  # None → ambient default
-            return self._run_loop()
+            return self._run_loop(resume_from)
 
-    def _make_pipeline(self) -> SampledBatchPipeline:
+    def _make_pipeline(self, start_step: int = 0) -> SampledBatchPipeline:
         """The async mode's prefetcher over the whole run's step budget."""
         cfg = self.config
 
@@ -255,17 +282,32 @@ class Trainer:
 
         return SampledBatchPipeline(
             draw, extract, total_steps=cfg.epochs * cfg.steps_per_epoch,
-            seed=cfg.seed, workers=cfg.workers, depth=cfg.prefetch_depth)
+            seed=cfg.seed, workers=cfg.workers, depth=cfg.prefetch_depth,
+            start_step=start_step)
 
-    def _run_loop(self) -> HistoryRecorder:
+    def _run_loop(self, resume_from: str | None = None) -> HistoryRecorder:
+        from repro.train.resume import check_resume_config, load_training_state
+
         cfg = self.config
+        resume = None
+        if resume_from is not None:
+            resume = load_training_state(resume_from)
+            check_resume_config(resume.config, cfg)
+            if resume.global_step > cfg.epochs * cfg.steps_per_epoch:
+                raise ValueError(
+                    f"saved state is {resume.global_step} steps in; this "
+                    f"config only trains "
+                    f"{cfg.epochs * cfg.steps_per_epoch} steps")
+            self.model.load_state_dict(resume.model_state)
+            self._rng.bit_generator.state = resume.meta["rng_state"]
+            self.history.rows = [dict(row) for row in resume.meta["history"]]
         if cfg.propagation == "async":
-            pipeline = self._make_pipeline()
+            pipeline = self._make_pipeline(resume.global_step if resume else 0)
             try:
-                return self._run_epochs(pipeline)
+                return self._run_epochs(pipeline, resume)
             finally:
                 pipeline.close()
-        return self._run_epochs(None)
+        return self._run_epochs(None, resume)
 
     def _step_scores(self, batch, prepared):
         """(pos, neg, reg) for one step under the configured propagation."""
@@ -295,13 +337,32 @@ class Trainer:
             return SGD(params, lr=cfg.lr)
         return Adam(params, lr=cfg.lr)
 
-    def _make_dist(self):
+    def _param_names(self) -> dict[int, str]:
+        """``id(parameter) → dotted name``, the optimizer-state key space."""
+        return {id(p): name for name, p in self.model.named_parameters()}
+
+    def _resume_states_for(self, params, optimizer_states: dict) -> list[dict]:
+        """Saved per-parameter states in ``params`` order, keyed by name."""
+        names = self._param_names()
+        states = []
+        for p in params:
+            name = names.get(id(p))
+            if name is None or name not in optimizer_states:
+                raise ValueError(
+                    f"training state has no optimizer entry for parameter "
+                    f"{name or getattr(p, 'name', '?')!r} — was it saved "
+                    "from a different model architecture?")
+            states.append(optimizer_states[name])
+        return states
+
+    def _make_dist(self, resume=None):
         """``(bridge, local_optimizer)`` for the parameter-server modes.
 
         The bridge owns every shard-labeled parameter (its owner processes
         apply those updates); the local optimizer covers the unsharded
         rest, stepping in-process exactly as before. Either may be the
         scheduler's lr holder — pushes always carry the current rate.
+        Resuming ships each owner its saved optimizer state at spawn.
         """
         from repro.dist import DistParameterServer
 
@@ -315,11 +376,16 @@ class Trainer:
                 "dist training needs a model built with sharded tables "
                 "(e.g. GNMRConfig(shards=K)) — no shard-labeled "
                 "parameters found")
+        initial_state = None
+        if resume is not None:
+            shard_params = [p for g in shard_groups for p in g["params"]]
+            initial_state = self._resume_states_for(
+                shard_params, resume.optimizer_states)
         bridge = DistParameterServer(
             shard_groups, optimizer=cfg.optimizer, lr=cfg.lr,
             workers=cfg.dist_workers,
             staleness=0 if cfg.dist == "sync" else cfg.dist_staleness,
-            transport=cfg.dist_transport)
+            transport=cfg.dist_transport, initial_state=initial_state)
         if local_params:
             local = (SGD(local_params, lr=cfg.lr) if cfg.optimizer == "sgd"
                      else Adam(local_params, lr=cfg.lr))
@@ -327,18 +393,26 @@ class Trainer:
             local = None
         return bridge, local
 
-    def _run_epochs(self, pipeline: SampledBatchPipeline | None) -> HistoryRecorder:
+    def _run_epochs(self, pipeline: SampledBatchPipeline | None,
+                    resume=None) -> HistoryRecorder:
         cfg = self.config
         if cfg.dist != "off":
-            dist, optimizer = self._make_dist()
+            dist, optimizer = self._make_dist(resume)
+            if resume is not None and optimizer is not None:
+                optimizer.load_state_dict(self._resume_states_for(
+                    optimizer.parameters, resume.optimizer_states))
             try:
-                return self._epoch_loop(pipeline, optimizer, dist)
+                return self._epoch_loop(pipeline, optimizer, dist, resume)
             finally:
                 dist.close()
-        return self._epoch_loop(pipeline, self._make_optimizer(), None)
+        optimizer = self._make_optimizer()
+        if resume is not None:
+            optimizer.load_state_dict(self._resume_states_for(
+                optimizer.parameters, resume.optimizer_states))
+        return self._epoch_loop(pipeline, optimizer, None, resume)
 
     def _epoch_loop(self, pipeline: SampledBatchPipeline | None,
-                    optimizer, dist) -> HistoryRecorder:
+                    optimizer, dist, resume=None) -> HistoryRecorder:
         cfg = self.config
         # the scheduler mutates its holder's ``lr``; without unsharded
         # parameters the bridge itself carries the rate for the pushes
@@ -348,11 +422,34 @@ class Trainer:
                    if cfg.early_stopping_patience else None)
         loss_fn = _LOSSES[cfg.loss]
 
+        start_epoch, resume_step = 0, 0
+        if resume is not None:
+            start_epoch, resume_step = resume.epoch, resume.step_in_epoch
+            # the scheduler's lr₀ was captured at construction (above), so
+            # restoring must come after: position first, then the decayed
+            # rate the saved run was pushing with
+            scheduler.epoch = int(resume.meta["scheduler_epoch"])
+            lr_holder.lr = float(resume.meta["lr"])
+            saved_stopper = resume.meta.get("stopper")
+            if stopper is not None and saved_stopper is not None:
+                stopper.best = saved_stopper["best"]
+                stopper.best_step = int(saved_stopper["best_step"])
+                stopper._bad_checks = int(saved_stopper["bad_checks"])
+                stopper._step = int(saved_stopper["step"])
+
+        epochs_completed = start_epoch
         self.model.train()
-        for epoch in range(cfg.epochs):
-            epoch_loss = 0.0
-            steps_done = 0
-            for _ in range(cfg.steps_per_epoch):
+        for epoch in range(start_epoch, cfg.epochs):
+            if resume is not None and epoch == start_epoch:
+                # re-enter the interrupted epoch mid-flight
+                epoch_loss = float(resume.meta["epoch_loss"])
+                steps_done = int(resume.meta["steps_done"])
+                first_step = resume_step
+            else:
+                epoch_loss = 0.0
+                steps_done = 0
+                first_step = 0
+            for step_i in range(first_step, cfg.steps_per_epoch):
                 if pipeline is not None:
                     prepared = next(pipeline)
                     batch = prepared.batch
@@ -363,29 +460,39 @@ class Trainer:
                         cfg.batch_users, cfg.per_user, self._rng,
                         eligible_users=self._eligible,
                     )
-                if len(batch) == 0:
-                    continue
-                if dist is not None:
-                    # bounded staleness: forward may only read tables the
-                    # owners have caught up to within the window (0 = the
-                    # synchronous barrier → bit-parity with in-process)
-                    dist.throttle()
-                pos_scores, neg_scores, reg = self._step_scores(batch, prepared)
-                loss = loss_fn(pos_scores, neg_scores, cfg.margin)
-                loss = loss + reg
-                if optimizer is not None:
-                    optimizer.zero_grad()
-                loss.backward()
-                if cfg.grad_clip is not None:
-                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                if dist is not None:
-                    dist.push(lr=lr_holder.lr)
-                if optimizer is not None:
-                    optimizer.step()
-                if hasattr(self.model, "on_step_end"):
-                    self.model.on_step_end()
-                epoch_loss += float(loss.data)
-                steps_done += 1
+                if len(batch) > 0:
+                    if dist is not None:
+                        # bounded staleness: forward may only read tables the
+                        # owners have caught up to within the window (0 = the
+                        # synchronous barrier → bit-parity with in-process)
+                        dist.throttle()
+                    pos_scores, neg_scores, reg = self._step_scores(batch, prepared)
+                    loss = loss_fn(pos_scores, neg_scores, cfg.margin)
+                    loss = loss + reg
+                    if optimizer is not None:
+                        optimizer.zero_grad()
+                    loss.backward()
+                    if cfg.grad_clip is not None:
+                        clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                    if dist is not None:
+                        dist.push(lr=lr_holder.lr)
+                    if optimizer is not None:
+                        optimizer.step()
+                    if hasattr(self.model, "on_step_end"):
+                        self.model.on_step_end()
+                    epoch_loss += float(loss.data)
+                    steps_done += 1
+                # the cursor counts loop iterations (empty batches included:
+                # they consumed rng draws), so a resumed stream lines up
+                global_step = epoch * cfg.steps_per_epoch + step_i + 1
+                if (cfg.save_state is not None
+                        and cfg.save_every_steps is not None
+                        and global_step % cfg.save_every_steps == 0):
+                    self._save_state(optimizer, dist, scheduler, lr_holder,
+                                     stopper, epoch, step_i + 1, epoch_loss,
+                                     steps_done)
+                if self.step_hook is not None:
+                    self.step_hook(self, global_step)
             lr = scheduler.step()
             # each step's loss is a sum over its pairs plus one per-step L2
             # term, so normalize by the number of steps (not pairs): dividing
@@ -409,6 +516,7 @@ class Trainer:
             if self.config.verbose:  # pragma: no cover - logging only
                 suffix = f" metric={metric:.4f}" if metric is not None else ""
                 print(f"epoch {epoch:3d} loss={mean_loss:.4f} lr={lr:.5f}{suffix}")
+            epochs_completed = epoch + 1
             if stopper is not None and metric is not None and stopper.update(metric):
                 break
         if dist is not None:
@@ -418,4 +526,51 @@ class Trainer:
             # parameters don't depend on which rows the last batches drew
             optimizer.sync()
         self.model.eval()
+        if cfg.save_state is not None:
+            # end-of-run state: resuming it with a larger epoch budget
+            # continues training exactly where this run left off
+            self._save_state(optimizer, dist, scheduler, lr_holder, stopper,
+                             epochs_completed, 0, 0.0, 0)
         return self.history
+
+    def _save_state(self, optimizer, dist, scheduler, lr_holder, stopper,
+                    epoch: int, step_in_epoch: int, epoch_loss: float,
+                    steps_done: int) -> None:
+        """One atomic training-state snapshot at the current cursor.
+
+        Under dist training this drains every in-flight push first and
+        pulls the shard owners' optimizer state over the control pipe, so
+        the file is a consistent cut: tables, clocks, and cursor all
+        describe the same step.
+        """
+        from repro.train.resume import config_echo, save_training_state
+
+        cfg = self.config
+        names = self._param_names()
+        opt_states: dict[str, dict] = {}
+        if dist is not None:
+            for p, state in zip(dist.flat_params, dist.pull_state()):
+                opt_states[names[id(p)]] = state
+        if optimizer is not None:
+            for p, state in zip(optimizer.parameters, optimizer.state_dict()):
+                opt_states[names[id(p)]] = state
+        meta = {
+            "config": config_echo(cfg),
+            "epoch": int(epoch),
+            "step_in_epoch": int(step_in_epoch),
+            "global_step": int(epoch * cfg.steps_per_epoch + step_in_epoch),
+            "epoch_loss": float(epoch_loss),
+            "steps_done": int(steps_done),
+            "lr": float(lr_holder.lr),
+            "scheduler_epoch": int(scheduler.epoch),
+            "rng_state": self._rng.bit_generator.state,
+            "history": self.history.rows,
+            "stopper": (None if stopper is None else {
+                "best": stopper.best,
+                "best_step": stopper.best_step,
+                "bad_checks": stopper._bad_checks,
+                "step": stopper._step,
+            }),
+        }
+        save_training_state(cfg.save_state, self.model.state_dict(),
+                            opt_states, meta)

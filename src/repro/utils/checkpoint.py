@@ -12,6 +12,8 @@ fingerprints existed still load (no hashes → no verification).
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -24,6 +26,71 @@ _HASH_KEY = "array_sha256"
 
 class CheckpointIntegrityError(ValueError):
     """A checkpoint array's content hash did not match its metadata."""
+
+
+def save_arrays(path: str | Path, arrays: dict[str, np.ndarray],
+                metadata: dict | None = None) -> Path:
+    """Atomically write a named-array archive (.npz) with fingerprints.
+
+    The archive is written to a temp file in the destination directory and
+    moved into place with ``os.replace``, so a crash (even SIGKILL) mid-save
+    leaves either the previous file or the complete new one — never a torn
+    archive. Every array gets a sha256 fingerprint in the metadata that
+    :func:`load_arrays` verifies on read.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays = dict(arrays)
+    if _META_KEY in arrays:
+        raise ValueError(f"array name collides with reserved key {_META_KEY}")
+    meta = dict(metadata or {})
+    meta[_HASH_KEY] = {name: array_sha256(np.asarray(value))
+                       for name, value in arrays.items()}
+    payload = dict(arrays)
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_arrays(path: str | Path,
+                verify: bool = True) -> tuple[dict[str, np.ndarray], dict]:
+    """Read an archive written by :func:`save_arrays` → (arrays, metadata).
+
+    Verifies each array's sha256 fingerprint unless ``verify=False``;
+    a mismatch raises :class:`CheckpointIntegrityError`.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        metadata: dict = {}
+        arrays: dict[str, np.ndarray] = {}
+        for key in archive.files:
+            if key == _META_KEY:
+                metadata = json.loads(bytes(archive[key]).decode("utf-8"))
+            else:
+                arrays[key] = archive[key]
+    expected = metadata.get(_HASH_KEY)
+    if verify and expected:
+        bad = [name for name, value in arrays.items()
+               if expected.get(name) not in (None, array_sha256(value))]
+        if bad:
+            raise CheckpointIntegrityError(
+                f"archive {path} failed integrity verification: array "
+                f"content hash mismatch for {sorted(bad)} — the file was "
+                "corrupted or modified after save_arrays wrote it")
+    return arrays, metadata
 
 
 def save_checkpoint(model, path: str | Path,

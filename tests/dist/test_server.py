@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.dist import DistParameterServer, ShardOwner, TransportError
-from repro.dist.codec import encode_push, encode_stop
+from repro.dist.codec import KIND_PUSH, KIND_STOP, encode_push, encode_stop
 from repro.nn.module import Parameter
 from repro.nn.optim import SGD, Adam
 from repro.tensor.rowsparse import RowSparseGrad
@@ -53,9 +53,9 @@ class TestShardOwner:
         for step in range(4):
             lr = 0.05 * (0.9 ** step)
             grads = random_grads(rng, reference)
-            applied, running = owner.apply_frame(
+            applied, kind = owner.apply_frame(
                 encode_push(step, lr, [copy.deepcopy(g) for g in grads]))
-            assert running and applied == step
+            assert kind == KIND_PUSH and applied == step
             ref_opt.lr = lr
             for p, g in zip(reference, grads):
                 p.grad = g
@@ -70,14 +70,14 @@ class TestShardOwner:
         params = make_params(np.random.default_rng(1), [(3, 2)])
         owner = ShardOwner(params, lr=0.1)
         before = np.array(params[0].data)
-        step, running = owner.apply_frame(encode_push(0, 0.1, [None]))
-        assert (step, running) == (0, True)
+        step, kind = owner.apply_frame(encode_push(0, 0.1, [None]))
+        assert (step, kind) == (0, KIND_PUSH)
         np.testing.assert_array_equal(params[0].data, before)
 
     def test_stop_frame_ends_the_loop(self):
         owner = ShardOwner(make_params(np.random.default_rng(2), [(2, 2)]))
-        step, running = owner.apply_frame(encode_stop())
-        assert running is False
+        step, kind = owner.apply_frame(encode_stop())
+        assert kind == KIND_STOP
         assert step == -1  # nothing applied yet
 
     def test_grad_count_mismatch_raises(self):

@@ -1,0 +1,1 @@
+"""Shared test substrate (fault injection, crash hooks)."""

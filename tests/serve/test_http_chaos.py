@@ -1,0 +1,218 @@
+"""Chaos test for the serving tier: hot-swap storm with corrupt snapshots.
+
+The snapshot lifecycle's operational contract under fire: when a swap
+discovers corrupt serving tables (in-place mutation of the supposedly
+frozen snapshot — the in-process stand-in for a torn shm write), the swap
+is *rejected*: ``swap_errors`` increments, the service rolls back to the
+newest archived good snapshot (``rollbacks`` increments), ``/healthz``
+stays green the whole time, and responses bit-match the last good tables.
+The storm then keeps going — the next clean poll swaps forward again.
+"""
+
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import leave_one_out_split
+from repro.serve import (
+    EmbeddingStore,
+    RecommendationHTTPServer,
+    RecommendationService,
+    SnapshotIntegrityError,
+)
+
+
+@pytest.fixture(scope="module")
+def split(small_taobao):
+    return leave_one_out_split(small_taobao)
+
+
+def _get(port: int, path: str) -> tuple[int, dict]:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def _bump(model) -> None:
+    model.user_embeddings.data += 0.25
+    model.on_step_end()
+
+
+def _corrupt(store) -> None:
+    """Flip bits in the frozen serving tables (a torn write, in-process)."""
+    store.user_matrix[0, 0] += 1.0
+
+
+class TestStoreLifecycle:
+    """Retention, rollback, and verify-on-transition in isolation."""
+
+    def test_refresh_archives_and_retention_caps_history(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=0))
+        store = EmbeddingStore.snapshot(model, retain=2)
+        versions = [store.version]
+        for _ in range(3):
+            _bump(model)
+            assert store.refresh(model) is True
+            versions.append(store.version)
+        # keep-last-2: the first version fell off the archive
+        assert store.history_versions() == versions[1:3]
+
+    def test_rollback_restores_bit_exact_tables(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=1))
+        store = EmbeddingStore.snapshot(model, retain=2)
+        old_version = store.version
+        old_users = np.array(store.user_matrix)
+        old_hash = store.content_hash
+        _bump(model)
+        store.refresh(model)
+        assert store.version != old_version
+        assert store.rollback() == old_version
+        np.testing.assert_array_equal(store.user_matrix, old_users)
+        assert store.content_hash == old_hash
+
+    def test_rollback_to_specific_version_discards_newer(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=2))
+        store = EmbeddingStore.snapshot(model, retain=4)
+        first = store.version
+        for _ in range(2):
+            _bump(model)
+            store.refresh(model)
+        assert store.rollback(first) == first
+        assert store.history_versions() == []
+
+    def test_rollback_with_empty_archive_raises(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=3))
+        store = EmbeddingStore.snapshot(model, retain=2)
+        with pytest.raises(ValueError, match="no archived snapshot"):
+            store.rollback()
+        with pytest.raises(ValueError, match="available"):
+            _bump(model)
+            store.refresh(model)
+            store.rollback(version=-12345)
+
+    def test_refresh_rejects_mutated_outgoing_tables(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=4))
+        store = EmbeddingStore.snapshot(model, retain=2)
+        _corrupt(store)
+        _bump(model)
+        with pytest.raises(SnapshotIntegrityError):
+            store.refresh(model)
+        # nothing corrupt was archived as "good"
+        assert store.history_versions() == []
+
+    def test_refresh_rejects_producer_hash_mismatch(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=5))
+        store = EmbeddingStore.snapshot(model, retain=2)
+        version = store.version
+        users = np.array(store.user_matrix)
+        _bump(model)
+        with pytest.raises(SnapshotIntegrityError):
+            store.refresh(model, expected_hash="0" * 64)
+        # the outgoing snapshot was put back, not left half-swapped
+        assert store.version == version
+        np.testing.assert_array_equal(store.user_matrix, users)
+
+    def test_retain_zero_disables_archive(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=6))
+        store = EmbeddingStore.snapshot(model, retain=0)
+        _bump(model)
+        store.refresh(model)
+        assert store.history_versions() == []
+
+    def test_service_recover_rewires_retriever(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=7))
+        service = RecommendationService(model, train=split.train, k_default=5,
+                                        auto_refresh=False)
+        reference = service.recommend([0, 1, 2])
+        _bump(model)
+        service.reload()
+        old_retriever = service.retriever
+        restored = service.recover()
+        assert restored == service.snapshot_version
+        assert service.retriever is not old_retriever
+        after = service.recommend([0, 1, 2])
+        np.testing.assert_array_equal(reference.items, after.items)
+        np.testing.assert_array_equal(reference.scores, after.scores)
+
+
+class TestHotSwapStorm:
+    """The full chaos loop over a live HTTP server."""
+
+    def test_corrupt_swap_storm_keeps_serving_last_good(self, split):
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=20))
+        service = RecommendationService(model, train=split.train, k_default=5)
+        server = RecommendationHTTPServer(service, port=0,
+                                          poll_interval_ms=60_000.0).start()
+        try:
+            # the initial snapshot is the good state every rollback will
+            # restore: each corruption destroys the *current* tables, so
+            # the archived copy of this one is always the last good
+            status, good_reference = _get(server.port,
+                                          "/recommend?user=1&k=5")
+            assert status == 200
+            good_rollback_version = service.snapshot_version
+            # one clean swap so the archive holds that known-good snapshot
+            _bump(model)
+            assert server.check_freshness() is True
+
+            swaps = 1
+            swap_errors = rollbacks = 0
+            for _ in range(4):
+                # torn write lands in the live tables, model moves on
+                _corrupt(service.store)
+                _bump(model)
+                assert server.check_freshness() is False  # rejected
+                swap_errors += 1
+                rollbacks += 1
+                counters = server.stats.snapshot()["snapshot"]
+                assert counters["swap_errors"] == swap_errors
+                assert counters["rollbacks"] == rollbacks
+
+                # healthz stays green and responses bit-match the last
+                # good snapshot the rollback restored
+                status, health = _get(server.port, "/healthz")
+                assert status == 200 and health["status"] == "ok"
+                assert service.snapshot_version == good_rollback_version
+                status, payload = _get(server.port, "/recommend?user=1&k=5")
+                assert status == 200
+                assert payload["items"] == good_reference["items"]
+
+                # the next clean poll swaps forward again
+                assert server.check_freshness() is True
+                swaps += 1
+            good_version = service.snapshot_version
+
+            counters = server.stats.snapshot()["snapshot"]
+            assert counters["swaps"] == swaps
+            assert counters["swap_errors"] == swap_errors
+            assert counters["rollbacks"] == rollbacks
+            assert service.snapshot_version == good_version
+            # after the storm the served tables verify clean
+            service.store.verify()
+        finally:
+            server.close()
+
+    def test_corruption_with_empty_archive_still_counts(self, split):
+        """First-ever swap finds corrupt tables and nothing archived: the
+        error is counted, recovery is impossible, serving continues."""
+        model = GNMR(split.train, GNMRConfig(pretrain=False, seed=21))
+        service = RecommendationService(model, train=split.train, k_default=5)
+        server = RecommendationHTTPServer(service, port=0,
+                                          poll_interval_ms=60_000.0).start()
+        try:
+            _corrupt(service.store)
+            _bump(model)
+            assert server.check_freshness() is False
+            counters = server.stats.snapshot()["snapshot"]
+            assert counters["swap_errors"] == 1
+            assert counters["rollbacks"] == 0
+            assert _get(server.port, "/healthz")[0] == 200
+        finally:
+            server.close()

@@ -1,0 +1,184 @@
+"""Mid-epoch checkpoint/resume: ``train N == train M + resume N-M``, bit-exact.
+
+The oracle behind the whole resume subsystem: a training state written by
+``TrainConfig.save_state`` and continued with ``fit(resume_from=...)``
+must reproduce the uninterrupted run *bit for bit* — final parameters,
+optimizer state, loss trace, eval history, rng consumption — across every
+propagation mode (full graph, sampled subgraphs, the async prefetch
+pipeline) and dist sync training. The crash flavor uses the
+:class:`helpers.faults.CrashAtStep` hook: die right after a mid-epoch
+save, resume from the partial epoch, and still match.
+"""
+
+import numpy as np
+import pytest
+from helpers.faults import CrashAtStep, TrainerKilled
+
+from repro.core import GNMR, GNMRConfig
+from repro.data import leave_one_out_split, taobao_like
+from repro.models import BiasMF
+from repro.train.resume import load_training_state
+from repro.train.trainer import TrainConfig
+
+SPLIT = leave_one_out_split(taobao_like(num_users=40, num_items=90, seed=0))
+
+
+def bias_mf():
+    return BiasMF(SPLIT.train.num_users, SPLIT.train.num_items, seed=0)
+
+
+def gnmr(shards=None, strategy="range"):
+    return GNMR(SPLIT.train, GNMRConfig(pretrain=False, seed=0, num_layers=2,
+                                        dropout=0.0, shards=shards,
+                                        shard_strategy=strategy))
+
+
+def config(epochs, **overrides):
+    base = dict(epochs=epochs, steps_per_epoch=4, batch_users=8, per_user=2,
+                seed=0, eval_every=1)
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+def assert_states_equal(model_a, model_b, history_a=None, history_b=None):
+    state_a, state_b = model_a.state_dict(), model_b.state_dict()
+    assert sorted(state_a) == sorted(state_b)
+    for key in state_a:
+        np.testing.assert_array_equal(state_a[key], state_b[key], err_msg=key)
+    if history_a is not None:
+        assert history_a.rows == history_b.rows
+
+
+class TestEndOfRunResume:
+    """Save at the end of a short run, resume to the full length."""
+
+    @pytest.mark.parametrize("optimizer", ["adam", "sgd"])
+    def test_biasmf_10_equals_6_plus_4(self, tmp_path, optimizer):
+        state = str(tmp_path / "state.npz")
+        full = bias_mf()
+        h_full = full.fit(SPLIT.train, config(10, optimizer=optimizer))
+        part = bias_mf()
+        part.fit(SPLIT.train, config(6, optimizer=optimizer,
+                                     save_state=state))
+        resumed = bias_mf()
+        h_resumed = resumed.fit(SPLIT.train,
+                                config(10, optimizer=optimizer),
+                                resume_from=state)
+        assert_states_equal(full, resumed, h_full, h_resumed)
+
+    def test_history_rows_carry_over(self, tmp_path):
+        state = str(tmp_path / "state.npz")
+        part = bias_mf()
+        part.fit(SPLIT.train, config(3, save_state=state))
+        resumed = bias_mf()
+        history = resumed.fit(SPLIT.train, config(5), resume_from=state)
+        assert [row["epoch"] for row in history.rows] == [0, 1, 2, 3, 4]
+
+    def test_config_mismatch_is_rejected(self, tmp_path):
+        state = str(tmp_path / "state.npz")
+        bias_mf().fit(SPLIT.train, config(2, save_state=state))
+        with pytest.raises(ValueError, match="lr: saved"):
+            bias_mf().fit(SPLIT.train, config(4, lr=0.5), resume_from=state)
+
+    def test_already_finished_state_is_rejected(self, tmp_path):
+        state = str(tmp_path / "state.npz")
+        bias_mf().fit(SPLIT.train, config(3, save_state=state))
+        with pytest.raises(ValueError, match="steps in"):
+            bias_mf().fit(SPLIT.train, config(2), resume_from=state)
+
+
+class TestCrashResume:
+    """SIGKILL-style death right after a mid-epoch save, then resume."""
+
+    def test_biasmf_mid_epoch_crash(self, tmp_path):
+        state = str(tmp_path / "state.npz")
+        full = bias_mf()
+        h_full = full.fit(SPLIT.train, config(5))
+        crashed = bias_mf()
+        trainer_cfg = config(5, save_state=state, save_every_steps=3)
+        from repro.train.trainer import Trainer
+
+        trainer = Trainer(crashed, SPLIT.train, trainer_cfg,
+                          step_hook=CrashAtStep(9))  # mid-epoch 2
+        with pytest.raises(TrainerKilled):
+            trainer.run()
+        saved = load_training_state(state)
+        assert saved.global_step == 9  # the save at step 9 hit disk first
+        resumed = bias_mf()
+        h_resumed = resumed.fit(SPLIT.train, config(5), resume_from=state)
+        assert_states_equal(full, resumed, h_full, h_resumed)
+
+    @pytest.mark.parametrize("propagation,dist", [
+        ("full", "off"), ("sampled", "off"), ("async", "off"),
+        ("sampled", "sync"), ("async", "sync"),
+    ])
+    def test_gnmr_modes_mid_epoch_crash(self, tmp_path, propagation, dist):
+        state = str(tmp_path / "state.npz")
+        overrides = dict(propagation=propagation, fanout=5, shards=3)
+        if dist != "off":
+            overrides.update(dist=dist, dist_transport="inline")
+        full = gnmr(shards=3)
+        h_full = full.fit(SPLIT.train, config(4, **overrides))
+        crashed = gnmr(shards=3)
+        from repro.train.trainer import Trainer
+
+        trainer = Trainer(crashed, SPLIT.train,
+                          config(4, save_state=state, save_every_steps=5,
+                                 **overrides),
+                          step_hook=CrashAtStep(10))
+        with pytest.raises(TrainerKilled):
+            trainer.run()
+        resumed = gnmr(shards=3)
+        h_resumed = resumed.fit(SPLIT.train, config(4, **overrides),
+                                resume_from=state)
+        assert_states_equal(full, resumed, h_full, h_resumed)
+
+    def test_real_process_dist_resume(self, tmp_path):
+        """End-of-epoch save with real shard-owner processes over shm."""
+        state = str(tmp_path / "state.npz")
+        overrides = dict(propagation="sampled", fanout=5, shards=2,
+                         dist="sync", dist_transport="shm")
+        full = gnmr(shards=2)
+        full.fit(SPLIT.train, config(3, **overrides))
+        part = gnmr(shards=2)
+        part.fit(SPLIT.train, config(2, save_state=state, **overrides))
+        resumed = gnmr(shards=2)
+        resumed.fit(SPLIT.train, config(3, **overrides), resume_from=state)
+        assert_states_equal(full, resumed)
+
+
+class TestFinalEpochEval:
+    """The final epoch must evaluate even when eval_every skips past it —
+    including when that final epoch runs inside a resumed session."""
+
+    @staticmethod
+    def run_with_eval(model, cfg, resume_from=None):
+        calls = []
+
+        def eval_fn():
+            calls.append(True)
+            return float(len(calls))
+
+        history = model.fit(SPLIT.train, cfg, eval_fn=eval_fn,
+                            resume_from=resume_from)
+        return history, calls
+
+    def test_uninterrupted_final_eval(self):
+        history, calls = self.run_with_eval(bias_mf(), config(6, eval_every=4))
+        # epochs 0..5: eval at epoch 3 (period) and epoch 5 (final)
+        assert len(calls) == 2
+        assert [row["epoch"] for row in history.rows
+                if row.get("metric") is not None] == [3, 5]
+
+    def test_resumed_final_eval(self, tmp_path):
+        state = str(tmp_path / "state.npz")
+        part = bias_mf()
+        part.fit(SPLIT.train, config(4, eval_every=4, save_state=state))
+        resumed = bias_mf()
+        history, calls = self.run_with_eval(
+            resumed, config(6, eval_every=4), resume_from=state)
+        # only epochs 4 and 5 run here; epoch 5 is final → must evaluate
+        assert len(calls) == 1
+        evaluated = [row["epoch"] for row in history.rows
+                     if row.get("metric") is not None]
+        assert evaluated[-1] == 5
