@@ -54,6 +54,14 @@ Compares a fresh benchmark run against the committed baselines and fails
   ``BENCH_DIST_MIN`` (1.6×) over the single-process sharded sampled
   step. Payloads from smaller boxes record the sweep (labeled with
   their ``cpu_count``) and skip the speedup bar.
+* ``ingest.json`` — the streaming CSV ingestion (``repro.data.ingest``)
+  must stay memory-bounded: on a log ≥ 10× the chunk size over the same
+  entity universe, transient memory (tracemalloc peak minus what the
+  returned dataset retains) must stay within ``BENCH_INGEST_MEM_RATIO``
+  (default 3×) of the single-chunk log — peak incremental memory is
+  capped by the chunk buffers plus the vocabularies, never the log
+  length. Throughput (rows/sec, matmul-normalized like serving) must not
+  regress vs baseline by more than the tolerance.
 
 Usage (what CI runs after regenerating the fresh payloads)::
 
@@ -66,7 +74,8 @@ Environment overrides: ``BENCH_TOLERANCE`` (default 0.20),
 ``BENCH_SHARD_MAX`` (default 2.0), ``BENCH_DIST_MIN`` (default 1.6),
 ``BENCH_MONO_MIN`` (default 0.75),
 ``BENCH_ANN_RECALL_MIN`` (default 0.95), ``BENCH_ANN_SPEEDUP_MIN``
-(default 3.0), ``BENCH_HTTP_BATCH_MIN`` (default 2.0).
+(default 3.0), ``BENCH_HTTP_BATCH_MIN`` (default 2.0),
+``BENCH_INGEST_MEM_RATIO`` (default 3.0).
 """
 
 from __future__ import annotations
@@ -88,6 +97,7 @@ MONO_MIN = float(os.environ.get("BENCH_MONO_MIN", "0.75"))
 ANN_RECALL_MIN = float(os.environ.get("BENCH_ANN_RECALL_MIN", "0.95"))
 ANN_SPEEDUP_MIN = float(os.environ.get("BENCH_ANN_SPEEDUP_MIN", "3.0"))
 HTTP_BATCH_MIN = float(os.environ.get("BENCH_HTTP_BATCH_MIN", "2.0"))
+INGEST_MEM_RATIO = float(os.environ.get("BENCH_INGEST_MEM_RATIO", "3.0"))
 
 
 def _load(directory: Path, name: str) -> dict | None:
@@ -279,6 +289,43 @@ def run(fresh_dir: Path, baseline_dir: Path) -> int:
             gate.check("http-speedup-vs-baseline", speedup >= floor,
                        f"{speedup:.2f}x vs baseline {base:.2f}x "
                        f"(floor {floor:.2f}x)")
+
+    # ------------------------------------------------- streaming ingest
+    ingest = _load(fresh_dir, "ingest")
+    ingest_base = _load_baseline(baseline_dir, "ingest")
+    if ingest is None:
+        gate.check("ingest", False, "fresh payload missing")
+    else:
+        chunk_rows = int(ingest["chunk_rows"])
+        big_rows = int(ingest["big"]["rows"])
+        gate.check("ingest-log-size", big_rows >= 10 * chunk_rows,
+                   f"{big_rows:,} rows vs chunk {chunk_rows:,} "
+                   f"(floor 10x the chunk)")
+        ratio = float(ingest["transient_ratio_big_vs_small"])
+        gate.check("ingest-transient-memory", ratio <= INGEST_MEM_RATIO,
+                   f"{ratio:.2f}x transient memory on "
+                   f"{big_rows // max(int(ingest['small']['rows']), 1)}x the "
+                   f"rows (ceiling {INGEST_MEM_RATIO}x: peak incremental "
+                   f"memory must be chunk-bounded, not log-bounded)")
+        rows_per_sec = float(ingest["rows_per_sec"])
+        gate.check("ingest-throughput-positive", rows_per_sec > 0,
+                   f"{rows_per_sec:,.0f} rows/sec")
+        if ingest_base is None:
+            gate.skip("ingest-vs-baseline", "no committed baseline")
+        else:
+            reference = ingest.get("reference_matmul_seconds")
+            base_reference = ingest_base.get("reference_matmul_seconds")
+            fresh_value = rows_per_sec
+            base_value = float(ingest_base["rows_per_sec"])
+            kind = "raw"
+            if reference and base_reference:
+                fresh_value *= float(reference)
+                base_value *= float(base_reference)
+                kind = "normalized"
+            floor = base_value * (1.0 - TOLERANCE)
+            gate.check("ingest-vs-baseline", fresh_value >= floor,
+                       f"{fresh_value:,.2f} vs baseline {base_value:,.2f} "
+                       f"({kind}; floor {floor:,.2f}, tol {TOLERANCE:.0%})")
 
     # -------------------------------------------------------- training
     training = _load(fresh_dir, "training_throughput")

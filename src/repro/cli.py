@@ -6,6 +6,10 @@ Examples::
     python -m repro.cli run table2 --dataset yelp   # one Table-II column
     python -m repro.cli run fig2 --dataset movielens
     python -m repro.cli train --dataset taobao --model GNMR --epochs 20
+    python -m repro.cli scenarios                   # the scenario registry
+    python -m repro.cli train --scenario tmall-like # skew-matched synthetic
+    python -m repro.cli ingest log.csv --out d.npz --target buy  # real log
+    python -m repro.cli train --scenario d.npz --split temporal
     python -m repro.cli recommend --checkpoint m.npz --topk 10  # JSON top-K
     python -m repro.cli serve --checkpoint m.npz --port 8080    # HTTP tier
     python -m repro.cli report                      # regenerate EXPERIMENTS.md
@@ -94,17 +98,53 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _resolve_train_dataset(args, scale):
+    """Dataset + (possibly rescaled) scale for ``train``.
+
+    ``--scenario`` wins over ``--dataset``: a registry name builds the
+    skew-matched synthetic shape at the requested (or default) scale, an
+    artifact path loads the ingested log as-is. Either way the scale is
+    re-anchored to the actual dataset so embedding tables and the
+    negative-candidate count fit the data, not the synthetic defaults.
+    """
+    from dataclasses import replace
+
+    if getattr(args, "scenario", None):
+        from repro.data import resolve_scenario
+
+        dataset = resolve_scenario(args.scenario, num_users=args.users,
+                                   num_items=args.items, seed=scale.seed)
+        scale = replace(scale,
+                        num_users=dataset.num_users,
+                        num_items=dataset.num_items,
+                        num_negatives=min(scale.num_negatives,
+                                          max(1, dataset.num_items // 3)))
+        return dataset, scale
+    return dataset_by_name(args.dataset, scale), scale
+
+
+def _split_dataset(dataset, protocol: str, test_fraction: float, seed: int):
+    """Leave-one-out or temporal split behind one switch."""
+    import numpy as np
+
+    from repro.data import leave_one_out_split, temporal_split
+
+    if protocol == "temporal":
+        return temporal_split(dataset, test_fraction=test_fraction)
+    return leave_one_out_split(dataset, rng=np.random.default_rng(seed))
+
+
 def cmd_train(args) -> int:
     import numpy as np
 
-    from repro.data import build_eval_candidates, leave_one_out_split
+    from repro.data import build_eval_candidates
     from repro.eval import evaluate_full_ranking, evaluate_model
     from repro.tensor import default_dtype
     from repro.utils import save_checkpoint
 
     scale = _scale_from_args(args)
-    dataset = dataset_by_name(args.dataset, scale)
-    split = leave_one_out_split(dataset)
+    dataset, scale = _resolve_train_dataset(args, scale)
+    split = _split_dataset(dataset, args.split, args.test_fraction, scale.seed)
     candidates = build_eval_candidates(
         split.train, split.test_users, split.test_items,
         num_negatives=scale.num_negatives, rng=np.random.default_rng(scale.seed))
@@ -158,7 +198,7 @@ def cmd_train(args) -> int:
         path = save_checkpoint(model, args.checkpoint,
                                metadata={"model": args.model,
                                          "dataset": dataset.name,
-                                         "dataset_arg": args.dataset,
+                                         "dataset_arg": args.scenario or args.dataset,
                                          "num_users": scale.num_users,
                                          "num_items": scale.num_items,
                                          "dtype": args.dtype,
@@ -190,7 +230,13 @@ def _rebuild_serving_model(args):
     if args.items is None and meta.get("num_items"):
         args.items = int(meta["num_items"])
     scale = _scale_from_args(args)
-    dataset = dataset_by_name(dataset_name, scale)
+    if dataset_name.endswith(".npz"):
+        # checkpoint trained from an ingested artifact: reload the log
+        from repro.data import resolve_scenario
+
+        dataset = resolve_scenario(dataset_name)
+    else:
+        dataset = dataset_by_name(dataset_name, scale)
     split = leave_one_out_split(dataset)
 
     overrides = dict({"dtype": dtype} if dtype else {})
@@ -338,6 +384,63 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_scenarios(args) -> int:
+    """Print the scenario registry (JSON with --json, table otherwise)."""
+    from repro.data import SCENARIOS
+
+    rows = {name: spec.describe() for name, spec in SCENARIOS.items()}
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_table(rows, title="Scenario registry "
+                                        "(repro.data.scenarios)",
+                           name_header="scenario"))
+    return 0
+
+
+def cmd_ingest(args) -> int:
+    """Stream a CSV event log into a reusable dataset artifact.
+
+    Prints one JSON report (rows read/kept/dropped, entity counts,
+    per-behavior inventory, artifact path). Memory stays bounded by
+    ``--chunk-rows`` regardless of the log size (see
+    :mod:`repro.data.ingest`).
+    """
+    from pathlib import Path
+
+    from repro.data import IngestOptions, ingest_csv, save_dataset_npz
+
+    behavior_col = None if args.rating_col else args.behavior_col
+    options = IngestOptions(
+        delimiter=args.delimiter,
+        user_col=args.user_col,
+        item_col=args.item_col,
+        behavior_col=behavior_col,
+        rating_col=args.rating_col,
+        timestamp_col=args.timestamp_col,
+        has_header=not args.no_header,
+        on_bad_rows=args.on_bad_rows,
+        chunk_rows=args.chunk_rows,
+    )
+    behaviors = tuple(args.behaviors.split(",")) if args.behaviors else None
+    try:
+        dataset, report = ingest_csv(
+            args.csv, name=args.name or Path(args.csv).stem,
+            target_behavior=args.target, behavior_names=behaviors,
+            options=options)
+    except (ValueError, OSError) as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 1
+    path = save_dataset_npz(dataset, args.out,
+                            has_timestamps=report.has_timestamps)
+    payload = {"artifact": str(path), "name": dataset.name,
+               "target_behavior": dataset.target_behavior,
+               "behavior_names": list(dataset.behavior_names),
+               **report.as_dict()}
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="GNMR reproduction harness")
@@ -355,6 +458,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_train.add_argument("--model", default="GNMR", choices=list(MODEL_NAMES))
     p_train.add_argument("--dataset", default="taobao",
                          choices=["movielens", "yelp", "taobao"])
+    p_train.add_argument("--scenario", default=None,
+                         help="scenario-registry name (tmall-like, "
+                              "gowalla-like, ... — see `repro.cli "
+                              "scenarios`) or a dataset artifact .npz from "
+                              "`repro.cli ingest`; overrides --dataset")
+    p_train.add_argument("--split", default="loo",
+                         choices=["loo", "temporal"],
+                         help="evaluation split: leave-one-out (paper "
+                              "protocol, default) or split-by-timestamp "
+                              "(needs real timestamps; past trains, "
+                              "future evaluates)")
+    p_train.add_argument("--test-fraction", type=float, default=0.2,
+                         help="target-interaction fraction held out by "
+                              "--split temporal (timestamp quantile)")
     p_train.add_argument("--checkpoint", default=None,
                          help="write a .npz checkpoint here")
     p_train.add_argument("--dtype", default=None,
@@ -513,6 +630,50 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=["range", "hash"],
                            help="partitioning the file was written under "
                                 "(default: its recorded strategy)")
+    p_scenarios = sub.add_parser(
+        "scenarios",
+        help="list the scenario registry (repro.data.scenarios)")
+    p_scenarios.add_argument("--json", action="store_true",
+                             help="machine-readable output")
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="stream a CSV event log into a reusable dataset artifact "
+             "(repro.data.ingest; memory bounded by --chunk-rows)")
+    p_ingest.add_argument("csv", help="event log to ingest")
+    p_ingest.add_argument("--out", required=True,
+                          help="artifact path (.npz; deterministic bytes — "
+                               "re-ingesting the same log reproduces the "
+                               "file exactly)")
+    p_ingest.add_argument("--target", required=True,
+                          help="target behavior name (e.g. buy, like)")
+    p_ingest.add_argument("--name", default=None,
+                          help="dataset label (default: the CSV stem)")
+    p_ingest.add_argument("--behaviors", default=None,
+                          help="comma-separated behavior whitelist; other "
+                               "rows are dropped (and counted) BEFORE "
+                               "id indexing, so filtered behaviors leave "
+                               "no phantom users/items")
+    p_ingest.add_argument("--behavior-col", default="behavior",
+                          help="column naming each row's behavior")
+    p_ingest.add_argument("--rating-col", default=None,
+                          help="derive behaviors from this rating column "
+                               "via the paper's partition instead of "
+                               "--behavior-col")
+    p_ingest.add_argument("--timestamp-col", default="timestamp",
+                          help="timestamp column (missing values -> 0)")
+    p_ingest.add_argument("--user-col", default="user")
+    p_ingest.add_argument("--item-col", default="item")
+    p_ingest.add_argument("--delimiter", default=",")
+    p_ingest.add_argument("--no-header", action="store_true",
+                          help="positional columns: user,item,"
+                               "behavior-or-rating[,timestamp]")
+    p_ingest.add_argument("--chunk-rows", type=int, default=100_000,
+                          help="events per streamed chunk — the transient-"
+                               "memory bound")
+    p_ingest.add_argument("--on-bad-rows", default="raise",
+                          choices=["raise", "skip"],
+                          help="NaN/garbage ratings or timestamps: fail "
+                               "fast (default) or drop and count")
     sub.add_parser("report", help="regenerate EXPERIMENTS.md from results")
 
     for p in (p_stats, p_run, p_train, p_rec, p_serve):
@@ -526,7 +687,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"stats": cmd_stats, "run": cmd_run, "train": cmd_train,
                 "recommend": cmd_recommend, "serve": cmd_serve,
-                "reshard": cmd_reshard, "report": cmd_report}
+                "reshard": cmd_reshard, "report": cmd_report,
+                "scenarios": cmd_scenarios, "ingest": cmd_ingest}
     return handlers[args.command](args)
 
 

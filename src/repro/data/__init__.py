@@ -1,7 +1,12 @@
-"""Datasets: container, splits, synthetic generators, file loaders."""
+"""Datasets: container, splits, synthetic generators, loaders, ingestion."""
 
 from repro.data.dataset import Interaction, InteractionDataset
-from repro.data.splits import LeaveOneOutSplit, leave_one_out_split
+from repro.data.splits import (
+    LeaveOneOutSplit,
+    TemporalSplit,
+    leave_one_out_split,
+    temporal_split,
+)
 from repro.data.negatives import build_eval_candidates, EvalCandidates
 from repro.data.synthetic import (
     SyntheticConfig,
@@ -12,16 +17,37 @@ from repro.data.synthetic import (
     synthesize_attributes,
 )
 from repro.data.loaders import (
+    BadRowError,
+    LoadReport,
     load_interactions_csv,
+    load_interactions_csv_with_report,
     map_ratings_to_behaviors,
     RATING_BEHAVIOR_RULES,
+)
+from repro.data.ingest import (
+    IngestOptions,
+    IngestReport,
+    ingest_csv,
+    iter_event_chunks,
+    load_dataset_npz,
+    save_dataset_npz,
+)
+from repro.data.scenarios import (
+    SCENARIOS,
+    ScenarioSpec,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    resolve_scenario,
 )
 
 __all__ = [
     "Interaction",
     "InteractionDataset",
     "LeaveOneOutSplit",
+    "TemporalSplit",
     "leave_one_out_split",
+    "temporal_split",
     "build_eval_candidates",
     "EvalCandidates",
     "SyntheticConfig",
@@ -30,7 +56,22 @@ __all__ = [
     "yelp_like",
     "taobao_like",
     "synthesize_attributes",
+    "BadRowError",
+    "LoadReport",
     "load_interactions_csv",
+    "load_interactions_csv_with_report",
     "map_ratings_to_behaviors",
     "RATING_BEHAVIOR_RULES",
+    "IngestOptions",
+    "IngestReport",
+    "ingest_csv",
+    "iter_event_chunks",
+    "load_dataset_npz",
+    "save_dataset_npz",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "build_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "resolve_scenario",
 ]

@@ -153,20 +153,53 @@ class InteractionDataset:
             item_features=self.item_features,
         )
 
-    def remove_target_pairs(self, users: np.ndarray, items: np.ndarray) -> "InteractionDataset":
-        """Copy with specific (user, item) target-behavior pairs removed.
+    def remove_target_rows(self, rows: np.ndarray) -> "InteractionDataset":
+        """Copy with specific target-behavior *rows* (by index) removed.
 
-        Used by the leave-one-out split to keep held-out test interactions
-        out of the training graph.
+        The exact rows are dropped and nothing else — duplicate
+        (user, item) pairs elsewhere in the log survive. This is what the
+        leave-one-out split uses, so a repeat purchase never loses its
+        training copies along with the held-out one.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        record = self._interactions[self.target_behavior]
+        n = record["users"].size
+        if rows.size and (rows.min() < 0 or rows.max() >= n):
+            raise ValueError(f"row index out of range [0, {n})")
+        keep_mask = np.ones(n, dtype=bool)
+        keep_mask[rows] = False
+        return self._with_target_mask(keep_mask)
+
+    def remove_target_pairs(self, users: np.ndarray, items: np.ndarray) -> "InteractionDataset":
+        """Copy with one target-behavior row removed per (user, item) pair.
+
+        Exactly one occurrence — the earliest in log order — is removed for
+        each occurrence of a pair in ``users``/``items``; repeat
+        interactions with the same item keep their other rows. Pairs absent
+        from the log are ignored.
         """
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
-        removed = set(zip(users.tolist(), items.tolist()))
         record = self._interactions[self.target_behavior]
-        keep_mask = np.array([
-            (int(u), int(i)) not in removed
-            for u, i in zip(record["users"], record["items"])
-        ], dtype=bool)
+        # pack (user, item) into one sortable key; items < num_items keeps it
+        # collision-free
+        keys = record["users"] * np.int64(self.num_items) + record["items"]
+        held = users * np.int64(self.num_items) + items
+        order = np.argsort(keys, kind="stable")  # stable → log order per key
+        sorted_keys = keys[order]
+        held_sorted = np.sort(held, kind="stable")
+        # the k-th duplicate of a held pair maps to the pair's k-th log row
+        first = np.searchsorted(held_sorted, held_sorted, side="left")
+        pos = np.searchsorted(sorted_keys, held_sorted, side="left")
+        pos = pos + (np.arange(held_sorted.size) - first)
+        valid = pos < keys.size
+        valid[valid] &= sorted_keys[pos[valid]] == held_sorted[valid]
+        keep_mask = np.ones(keys.size, dtype=bool)
+        keep_mask[order[pos[valid]]] = False
+        return self._with_target_mask(keep_mask)
+
+    def _with_target_mask(self, keep_mask: np.ndarray) -> "InteractionDataset":
+        record = self._interactions[self.target_behavior]
         new_interactions = dict(self._interactions)
         new_interactions[self.target_behavior] = {
             "users": record["users"][keep_mask],

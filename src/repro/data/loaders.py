@@ -4,11 +4,18 @@ When the actual MovieLens / Yelp / Taobao files are available they can be
 loaded with these helpers; the rating→behavior mapping reproduces §IV-A of
 the paper exactly. (The offline benchmark environment uses the synthetic
 generators instead; these loaders let real data be dropped in later.)
+
+These loaders are the simple, whole-file-in-memory path; for logs that do
+not fit comfortably in Python lists use the chunked, memory-bounded
+pipeline in :mod:`repro.data.ingest`, which shares the row-parsing rules
+defined here.
 """
 
 from __future__ import annotations
 
 import csv
+import math
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
@@ -32,6 +39,81 @@ def map_ratings_to_behaviors(ratings: np.ndarray) -> np.ndarray:
     return out.astype("U7")
 
 
+class BadRowError(ValueError):
+    """A row failed to parse (missing column, NaN/garbage rating, ...)."""
+
+
+@dataclass
+class LoadReport:
+    """What happened to the rows of one loaded file.
+
+    Attributes
+    ----------
+    rows_read:
+        Data rows seen in the file (header and blank lines excluded).
+    rows_kept:
+        Rows that made it into the dataset.
+    rows_dropped_bad:
+        Rows dropped under ``on_bad_rows="skip"`` (unparseable rating or
+        timestamp, missing column). Always 0 under ``"raise"``.
+    rows_dropped_behavior:
+        Rows whose behavior was filtered out by an explicit
+        ``behavior_names``.
+    bad_row_examples:
+        Up to 5 (row number, reason) samples of dropped bad rows.
+    """
+
+    rows_read: int = 0
+    rows_kept: int = 0
+    rows_dropped_bad: int = 0
+    rows_dropped_behavior: int = 0
+    bad_row_examples: list[tuple[int, str]] = field(default_factory=list)
+
+    def note_bad(self, row_num: int, reason: str) -> None:
+        self.rows_dropped_bad += 1
+        if len(self.bad_row_examples) < 5:
+            self.bad_row_examples.append((row_num, reason))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "rows_read": self.rows_read,
+            "rows_kept": self.rows_kept,
+            "rows_dropped_bad": self.rows_dropped_bad,
+            "rows_dropped_behavior": self.rows_dropped_behavior,
+        }
+
+
+def parse_rating(text: str, row_num: int) -> float:
+    """Parse a rating cell; NaN/inf/garbage is a :class:`BadRowError`.
+
+    A silently "neutral" NaN would fabricate interactions — the error
+    names the row so the log can be fixed (or skipped explicitly with
+    ``on_bad_rows="skip"``).
+    """
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise BadRowError(
+            f"row {row_num}: unparseable rating {text!r}") from None
+    if not math.isfinite(value):
+        raise BadRowError(f"row {row_num}: non-finite rating {text!r}")
+    return value
+
+
+def parse_timestamp(text: str | None, row_num: int) -> float:
+    """Parse a timestamp cell; empty/missing means 0.0 ("no timestamp")."""
+    if text is None or text == "":
+        return 0.0
+    try:
+        value = float(text)
+    except (TypeError, ValueError):
+        raise BadRowError(
+            f"row {row_num}: unparseable timestamp {text!r}") from None
+    if not math.isfinite(value):
+        raise BadRowError(f"row {row_num}: non-finite timestamp {text!r}")
+    return value
+
+
 def load_interactions_csv(path: str | Path, name: str,
                           target_behavior: str,
                           behavior_names: tuple[str, ...] | None = None,
@@ -41,7 +123,8 @@ def load_interactions_csv(path: str | Path, name: str,
                           behavior_col: str | None = "behavior",
                           rating_col: str | None = None,
                           timestamp_col: str | None = "timestamp",
-                          has_header: bool = True) -> InteractionDataset:
+                          has_header: bool = True,
+                          on_bad_rows: str = "raise") -> InteractionDataset:
     """Load a generic interaction file into an :class:`InteractionDataset`.
 
     Two modes:
@@ -51,11 +134,43 @@ def load_interactions_csv(path: str | Path, name: str,
     * ``rating_col`` given — behaviors are derived from the rating via the
       paper's mapping (MovieLens / Yelp style).
 
-    User and item ids are re-indexed densely in first-seen order.
+    User and item ids are re-indexed densely in first-seen order, counting
+    only rows that survive behavior filtering — filtered-out behaviors
+    leave no phantom ids (and therefore no oversized embedding rows or
+    zero-interaction eval users).
+
+    Unparseable/NaN ratings and timestamps raise :class:`BadRowError` by
+    default; ``on_bad_rows="skip"`` drops and counts them instead (see
+    :func:`load_interactions_csv_with_report` for the counts).
     """
+    dataset, _ = load_interactions_csv_with_report(
+        path, name, target_behavior, behavior_names=behavior_names,
+        delimiter=delimiter, user_col=user_col, item_col=item_col,
+        behavior_col=behavior_col, rating_col=rating_col,
+        timestamp_col=timestamp_col, has_header=has_header,
+        on_bad_rows=on_bad_rows)
+    return dataset
+
+
+def load_interactions_csv_with_report(
+        path: str | Path, name: str,
+        target_behavior: str,
+        behavior_names: tuple[str, ...] | None = None,
+        delimiter: str = ",",
+        user_col: str = "user",
+        item_col: str = "item",
+        behavior_col: str | None = "behavior",
+        rating_col: str | None = None,
+        timestamp_col: str | None = "timestamp",
+        has_header: bool = True,
+        on_bad_rows: str = "raise") -> tuple[InteractionDataset, LoadReport]:
+    """:func:`load_interactions_csv` plus the :class:`LoadReport` of drops."""
     if (behavior_col is None) == (rating_col is None):
         raise ValueError("exactly one of behavior_col / rating_col must be given")
+    if on_bad_rows not in ("raise", "skip"):
+        raise ValueError("on_bad_rows must be 'raise' or 'skip'")
     path = Path(path)
+    report = LoadReport()
 
     users_raw: list[str] = []
     items_raw: list[str] = []
@@ -70,33 +185,51 @@ def load_interactions_csv(path: str | Path, name: str,
             if row_num == 0 and has_header:
                 header = [c.strip() for c in row]
                 continue
-            record = _row_to_record(row, header, user_col, item_col,
-                                    behavior_col, rating_col, timestamp_col)
+            report.rows_read += 1
+            try:
+                record = _row_to_record(row, row_num, header, user_col,
+                                        item_col, behavior_col, rating_col,
+                                        timestamp_col)
+                if behavior_col is not None:
+                    behavior = record["behavior"]
+                else:
+                    rating = parse_rating(record["rating"], row_num)
+                    behavior = str(map_ratings_to_behaviors(
+                        np.array([rating]))[0])
+                timestamp = parse_timestamp(record.get("timestamp"), row_num)
+            except BadRowError as exc:
+                if on_bad_rows == "raise":
+                    raise
+                report.note_bad(row_num, str(exc))
+                continue
             users_raw.append(record["user"])
             items_raw.append(record["item"])
-            if behavior_col is not None:
-                behaviors.append(record["behavior"])
-            else:
-                behaviors.append(str(map_ratings_to_behaviors(
-                    np.array([float(record["rating"])]))[0]))
-            timestamps.append(float(record.get("timestamp") or 0.0))
+            behaviors.append(behavior)
+            timestamps.append(timestamp)
 
-    user_index = _dense_index(users_raw)
-    item_index = _dense_index(items_raw)
     if behavior_names is None:
         behavior_names = tuple(dict.fromkeys(behaviors))
     if target_behavior not in behavior_names:
         raise ValueError(f"target behavior {target_behavior!r} absent from data")
 
+    # behavior filtering happens BEFORE indexing: ids appearing only in
+    # filtered-out rows must not occupy embedding rows
+    keep_behaviors = set(behavior_names)
+    survivors = [idx for idx, b in enumerate(behaviors) if b in keep_behaviors]
+    report.rows_dropped_behavior = report.rows_read - report.rows_dropped_bad - len(survivors)
+    report.rows_kept = len(survivors)
+
+    user_index = _dense_index(users_raw[i] for i in survivors)
+    item_index = _dense_index(items_raw[i] for i in survivors)
+
     grouped: dict[str, dict[str, list]] = {
         b: {"users": [], "items": [], "timestamps": []} for b in behavior_names
     }
-    for u, i, b, t in zip(users_raw, items_raw, behaviors, timestamps):
-        if b not in grouped:
-            continue  # behavior filtered out by explicit behavior_names
-        grouped[b]["users"].append(user_index[u])
-        grouped[b]["items"].append(item_index[i])
-        grouped[b]["timestamps"].append(t)
+    for idx in survivors:
+        rec = grouped[behaviors[idx]]
+        rec["users"].append(user_index[users_raw[idx]])
+        rec["items"].append(item_index[items_raw[idx]])
+        rec["timestamps"].append(timestamps[idx])
 
     interactions = {
         b: {
@@ -106,7 +239,7 @@ def load_interactions_csv(path: str | Path, name: str,
         }
         for b, rec in grouped.items()
     }
-    return InteractionDataset(
+    dataset = InteractionDataset(
         name=name,
         num_users=len(user_index),
         num_items=len(item_index),
@@ -114,10 +247,11 @@ def load_interactions_csv(path: str | Path, name: str,
         target_behavior=target_behavior,
         interactions=interactions,
     )
+    return dataset, report
 
 
-def _row_to_record(row: list[str], header: list[str] | None, user_col: str,
-                   item_col: str, behavior_col: str | None,
+def _row_to_record(row: list[str], row_num: int, header: list[str] | None,
+                   user_col: str, item_col: str, behavior_col: str | None,
                    rating_col: str | None, timestamp_col: str | None) -> dict[str, str]:
     if header is not None:
         lookup = {name: row[idx].strip() for idx, name in enumerate(header) if idx < len(row)}
@@ -131,6 +265,11 @@ def _row_to_record(row: list[str], header: list[str] | None, user_col: str,
             lookup[rating_col] = third
         if timestamp_col is not None and len(row) > 3:
             lookup[timestamp_col] = row[3].strip()
+    required = [user_col, item_col]
+    required.append(behavior_col if behavior_col is not None else rating_col)
+    for column in required:
+        if column not in lookup or lookup[column] == "":
+            raise BadRowError(f"row {row_num}: missing column {column!r}")
     record = {"user": lookup[user_col], "item": lookup[item_col]}
     if behavior_col is not None:
         record["behavior"] = lookup[behavior_col]
@@ -141,7 +280,7 @@ def _row_to_record(row: list[str], header: list[str] | None, user_col: str,
     return record
 
 
-def _dense_index(raw_ids: list[str]) -> dict[str, int]:
+def _dense_index(raw_ids) -> dict[str, int]:
     index: dict[str, int] = {}
     for raw in raw_ids:
         if raw not in index:

@@ -6,7 +6,7 @@ from typing import Mapping
 
 
 def format_table(results: Mapping[str, Mapping[str, float]], title: str = "",
-                 float_fmt: str = "{:.3f}") -> str:
+                 float_fmt: str = "{:.3f}", name_header: str = "model") -> str:
     """Render {row → {column → value}} as an aligned text table."""
     rows = list(results)
     columns: list[str] = []
@@ -15,7 +15,7 @@ def format_table(results: Mapping[str, Mapping[str, float]], title: str = "",
             if column not in columns:
                 columns.append(column)
     widths = {c: max(len(str(c)), 8) for c in columns}
-    name_width = max([len(r) for r in rows] + [len("model")])
+    name_width = max([len(r) for r in rows] + [len(name_header)])
 
     def fmt(value) -> str:
         if isinstance(value, float):
@@ -25,7 +25,7 @@ def format_table(results: Mapping[str, Mapping[str, float]], title: str = "",
     lines = []
     if title:
         lines.append(title)
-    header = "model".ljust(name_width) + "  " + "  ".join(
+    header = name_header.ljust(name_width) + "  " + "  ".join(
         str(c).rjust(widths[c]) for c in columns)
     lines.append(header)
     lines.append("-" * len(header))

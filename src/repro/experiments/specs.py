@@ -77,16 +77,31 @@ TINY_SCALE = ExperimentScale(num_users=60, num_items=150, num_negatives=49,
 
 def dataset_by_name(name: str, scale: ExperimentScale,
                     seed_offset: int = 0) -> InteractionDataset:
-    """Instantiate one of the paper's three dataset schemas at a scale."""
+    """Instantiate a dataset schema at a scale.
+
+    The paper's three short names (``movielens``/``yelp``/``taobao``)
+    resolve to their generators directly; anything else goes through the
+    scenario registry (:mod:`repro.data.scenarios`), so
+    ``dataset_by_name("tmall-like", scale)`` and every registered
+    ``*-like`` shape work wherever the classic names do.
+    """
     generators = {
         "movielens": movielens_like,
         "yelp": yelp_like,
         "taobao": taobao_like,
     }
-    if name not in generators:
-        raise ValueError(f"unknown dataset {name!r}; pick from {sorted(generators)}")
-    return generators[name](num_users=scale.num_users, num_items=scale.num_items,
-                            seed=scale.seed + seed_offset)
+    if name in generators:
+        return generators[name](num_users=scale.num_users,
+                                num_items=scale.num_items,
+                                seed=scale.seed + seed_offset)
+    from repro.data.scenarios import SCENARIOS, build_scenario
+
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown dataset {name!r}; pick from "
+                         f"{sorted(generators) + sorted(SCENARIOS)}")
+    return build_scenario(name, num_users=scale.num_users,
+                          num_items=scale.num_items,
+                          seed=scale.seed + seed_offset)
 
 
 #: Table-II model roster in the paper's row order

@@ -63,6 +63,87 @@ def test_every_eligible_user_appears_once(dataset):
     assert set(split.test_users.tolist()) == eligible
 
 
+@st.composite
+def duplicate_heavy_dataset(draw):
+    """Logs where the same (user, item) pair repeats many times."""
+    num_users = draw(st.integers(min_value=2, max_value=6))
+    num_items = draw(st.integers(min_value=3, max_value=8))
+    rng = np.random.default_rng(draw(st.integers(0, 10_000)))
+    users, items, timestamps = [], [], []
+    t = 0.0
+    for user in range(num_users):
+        # 2-4 distinct items, each repeated 1-4 times
+        distinct = rng.choice(num_items,
+                              size=rng.integers(2, min(5, num_items + 1)),
+                              replace=False)
+        for item in distinct:
+            for _ in range(rng.integers(1, 5)):
+                t += 1.0
+                users.append(user)
+                items.append(int(item))
+                timestamps.append(t)
+    return InteractionDataset(
+        "dup", num_users, num_items, ("buy",), "buy",
+        {"buy": {"users": np.array(users), "items": np.array(items),
+                 "timestamps": np.array(timestamps)}},
+    )
+
+
+def _row_multiset(dataset):
+    users, items, timestamps = dataset.arrays("buy")
+    return sorted(zip(users.tolist(), items.tolist(), timestamps.tolist()))
+
+
+@given(duplicate_heavy_dataset())
+@settings(max_examples=30, deadline=None)
+def test_train_plus_held_rows_equal_original_exactly(dataset):
+    """train ∪ test == original rows, as an exact multiset.
+
+    Each held-out (user, item) accounts for exactly one original row —
+    the most recent one — and every other row survives bit-identical.
+    """
+    split = leave_one_out_split(dataset)
+    original = _row_multiset(dataset)
+    train = _row_multiset(split.train)
+    assert len(train) + len(split) == len(original)
+    # reconstruct the held rows: per test user, the most recent row
+    users, items, timestamps = dataset.arrays("buy")
+    held = []
+    for user, item in zip(split.test_users, split.test_items):
+        mask = users == user
+        pick = np.flatnonzero(mask)[np.argmax(timestamps[mask])]
+        assert items[pick] == item
+        held.append((int(user), int(items[pick]), float(timestamps[pick])))
+    assert sorted(train + held) == original
+
+
+@given(duplicate_heavy_dataset())
+@settings(max_examples=30, deadline=None)
+def test_per_user_counts_drop_by_exactly_one(dataset):
+    split = leave_one_out_split(dataset)
+    users, _, _ = dataset.arrays("buy")
+    train_users, _, _ = split.train.arrays("buy")
+    test_set = set(split.test_users.tolist())
+    for user in range(dataset.num_users):
+        before = int((users == user).sum())
+        after = int((train_users == user).sum())
+        expected = before - 1 if user in test_set else before
+        assert after == expected
+
+
+@given(duplicate_heavy_dataset())
+@settings(max_examples=20, deadline=None)
+def test_held_pair_duplicates_stay_in_training(dataset):
+    """If the held (user, item) pair occurred k times, k-1 copies remain."""
+    split = leave_one_out_split(dataset)
+    users, items, _ = dataset.arrays("buy")
+    train_users, train_items, _ = split.train.arrays("buy")
+    for user, item in zip(split.test_users, split.test_items):
+        before = int(((users == user) & (items == item)).sum())
+        after = int(((train_users == user) & (train_items == item)).sum())
+        assert after == before - 1
+
+
 @given(random_dataset(), st.integers(min_value=1, max_value=5))
 @settings(max_examples=20, deadline=None)
 def test_candidates_disjoint_from_train_positives(dataset, num_negatives):

@@ -78,3 +78,66 @@ class TestDerivedDatasets:
     def test_remove_target_pairs_keeps_other_users(self, tiny_dataset):
         reduced = tiny_dataset.remove_target_pairs(np.array([0]), np.array([1]))
         np.testing.assert_array_equal(reduced.user_target_items(1), [2])
+
+
+def _dup_dataset() -> InteractionDataset:
+    """Target behavior with repeated (user, item) rows."""
+    return InteractionDataset(
+        "dup", 2, 3, ("buy",), "buy",
+        {"buy": {
+            "users": np.array([0, 0, 0, 1, 0]),
+            "items": np.array([2, 1, 2, 2, 2]),
+            "timestamps": np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+        }},
+    )
+
+
+class TestRemoveExactOccurrences:
+    """Pinned regression: removal takes one ROW per request, never every
+    occurrence of a repeated (user, item) pair."""
+
+    def test_remove_pair_takes_single_earliest_occurrence(self):
+        reduced = _dup_dataset().remove_target_pairs(np.array([0]),
+                                                     np.array([2]))
+        users, items, ts = reduced.arrays("buy")
+        # (0, 2) appeared at t=1, 3, 5; only the earliest row leaves
+        assert reduced.interaction_count("buy") == 4
+        mask = (users == 0) & (items == 2)
+        assert sorted(ts[mask].tolist()) == [3.0, 5.0]
+
+    def test_duplicate_requests_remove_that_many_rows(self):
+        reduced = _dup_dataset().remove_target_pairs(np.array([0, 0]),
+                                                     np.array([2, 2]))
+        assert reduced.interaction_count("buy") == 3
+        users, items, _ = reduced.arrays("buy")
+        assert int(((users == 0) & (items == 2)).sum()) == 1
+
+    def test_absent_pairs_silently_ignored(self):
+        reduced = _dup_dataset().remove_target_pairs(np.array([1, 1]),
+                                                     np.array([0, 2]))
+        # (1, 0) never happened; only (1, 2) leaves
+        assert reduced.interaction_count("buy") == 4
+
+    def test_empty_request_is_identity(self):
+        dataset = _dup_dataset()
+        reduced = dataset.remove_target_pairs(np.array([], dtype=np.int64),
+                                              np.array([], dtype=np.int64))
+        assert reduced.interaction_count("buy") == dataset.interaction_count("buy")
+
+    def test_remove_rows_by_index(self):
+        reduced = _dup_dataset().remove_target_rows(np.array([1, 3]))
+        users, items, ts = reduced.arrays("buy")
+        assert users.tolist() == [0, 0, 0]
+        assert items.tolist() == [2, 2, 2]
+        assert ts.tolist() == [1.0, 3.0, 5.0]
+
+    def test_remove_rows_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            _dup_dataset().remove_target_rows(np.array([99]))
+        with pytest.raises(ValueError, match="out of range"):
+            _dup_dataset().remove_target_rows(np.array([-1]))
+
+    def test_auxiliary_behaviors_untouched_by_row_removal(self, tiny_dataset):
+        reduced = tiny_dataset.remove_target_rows(np.array([0]))
+        assert reduced.interaction_count("view") == 7
+        assert reduced.interaction_count("buy") == 4

@@ -1,0 +1,215 @@
+"""Tests of the streaming, memory-bounded ingestion pipeline."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BadRowError,
+    IngestOptions,
+    ingest_csv,
+    iter_event_chunks,
+    load_dataset_npz,
+    load_interactions_csv,
+    save_dataset_npz,
+    taobao_like,
+    temporal_split,
+)
+from repro.data.ingest import IngestReport
+
+
+def _write_log(path, rows, header="user,item,behavior,timestamp"):
+    lines = ([header] if header else []) + rows
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def _random_log_rows(num_rows, num_users=25, num_items=60, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(num_rows):
+        behavior = ["click", "click", "cart", "buy"][rng.integers(0, 4)]
+        rows.append(f"u{rng.integers(0, num_users)},"
+                    f"i{rng.integers(0, num_items)},"
+                    f"{behavior},{rng.integers(1, 100_000)}")
+    return rows
+
+
+class TestIterEventChunks:
+    def test_chunk_sizes_bounded(self, tmp_path):
+        path = _write_log(tmp_path / "log.csv", _random_log_rows(257))
+        options = IngestOptions(chunk_rows=50)
+        report = IngestReport()
+        chunks = list(iter_event_chunks(path, options, report))
+        assert [len(c) for c in chunks] == [50] * 5 + [7]
+        assert report.chunks == 6
+        assert report.rows_read == 257
+
+    def test_rating_mode_maps_behaviors(self, tmp_path):
+        path = _write_log(tmp_path / "ml.csv",
+                          ["a,x,5,1", "a,y,1,2", "b,x,3,3"],
+                          header="user,item,rating,timestamp")
+        options = IngestOptions(behavior_col=None, rating_col="rating",
+                                chunk_rows=2)
+        (chunk1, chunk2) = list(iter_event_chunks(path, options))
+        behaviors = [row[2] for row in chunk1 + chunk2]
+        assert behaviors == ["like", "dislike", "neutral"]
+
+    def test_bad_rows_raise_by_default(self, tmp_path):
+        path = _write_log(tmp_path / "bad.csv",
+                          ["a,x,5,1", "a,y,nan,2"],
+                          header="user,item,rating,timestamp")
+        options = IngestOptions(behavior_col=None, rating_col="rating")
+        with pytest.raises(BadRowError, match="row 2"):
+            list(iter_event_chunks(path, options))
+
+    def test_bad_rows_skip_counts(self, tmp_path):
+        path = _write_log(tmp_path / "bad.csv",
+                          ["a,x,5,1", "a,y,nan,2", "b,x,oops,3", "b,y,4,4"],
+                          header="user,item,rating,timestamp")
+        options = IngestOptions(behavior_col=None, rating_col="rating",
+                                on_bad_rows="skip")
+        report = IngestReport()
+        rows = [row for chunk in iter_event_chunks(path, options, report)
+                for row in chunk]
+        assert len(rows) == 2
+        assert report.rows_dropped_bad == 2
+        assert len(report.bad_row_examples) == 2
+
+
+class TestIngestCsv:
+    def test_matches_in_memory_loader(self, tmp_path):
+        """Chunked two-pass ingest == whole-file loader, chunk by chunk."""
+        path = _write_log(tmp_path / "log.csv", _random_log_rows(500))
+        reference = load_interactions_csv(path, name="ref",
+                                          target_behavior="buy")
+        for chunk_rows in (7, 64, 10_000):
+            dataset, report = ingest_csv(path, name="ref",
+                                         target_behavior="buy",
+                                         chunk_rows=chunk_rows)
+            assert dataset.num_users == reference.num_users
+            assert dataset.num_items == reference.num_items
+            assert dataset.behavior_names == reference.behavior_names
+            for behavior in reference.behavior_names:
+                for got, want in zip(dataset.arrays(behavior),
+                                     reference.arrays(behavior)):
+                    np.testing.assert_array_equal(got, want)
+            assert report.rows_kept == 500
+
+    def test_behavior_filter_no_phantom_ids(self, tmp_path):
+        path = _write_log(tmp_path / "log.csv", [
+            "u1,i1,click,1",
+            "u1,i2,buy,2",
+            "ghost_user,ghost_item,weird,3",
+            "u2,i2,buy,4",
+        ])
+        dataset, report = ingest_csv(path, name="f", target_behavior="buy",
+                                     behavior_names=("click", "buy"))
+        assert dataset.num_users == 2
+        assert dataset.num_items == 2
+        assert report.rows_dropped_behavior == 1
+        assert report.rows_kept == 3
+
+    def test_missing_target_raises(self, tmp_path):
+        path = _write_log(tmp_path / "log.csv", ["u1,i1,click,1"])
+        with pytest.raises(ValueError, match="target behavior"):
+            ingest_csv(path, name="x", target_behavior="buy")
+
+    def test_headerless_positional(self, tmp_path):
+        path = _write_log(tmp_path / "log.csv",
+                          ["u1,i1,buy,1", "u1,i2,buy,2", "u2,i1,click,3"],
+                          header=None)
+        dataset, _ = ingest_csv(path, name="p", target_behavior="buy",
+                                has_header=False)
+        assert dataset.interaction_count() == 3
+
+    def test_timestampless_log_flagged(self, tmp_path):
+        path = _write_log(tmp_path / "log.csv",
+                          ["u1,i1,buy", "u1,i2,buy", "u2,i1,buy"],
+                          header="user,item,behavior")
+        dataset, report = ingest_csv(path, name="nt", target_behavior="buy")
+        assert not report.has_timestamps
+        with pytest.raises(ValueError, match="timestamps"):
+            temporal_split(dataset)
+
+    def test_option_conflict_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ingest_csv(tmp_path / "log.csv", name="x", target_behavior="buy",
+                       options=IngestOptions(), chunk_rows=5)
+        with pytest.raises(ValueError):
+            IngestOptions(behavior_col=None, rating_col=None)
+        with pytest.raises(ValueError):
+            IngestOptions(on_bad_rows="ignore")
+        with pytest.raises(ValueError):
+            IngestOptions(chunk_rows=0)
+
+
+class TestDatasetArtifact:
+    def test_roundtrip(self, tmp_path):
+        dataset = taobao_like(num_users=20, num_items=35, seed=3)
+        path = save_dataset_npz(dataset, tmp_path / "d.npz")
+        loaded, meta = load_dataset_npz(path)
+        assert loaded.name == dataset.name
+        assert loaded.num_users == dataset.num_users
+        assert loaded.num_items == dataset.num_items
+        assert loaded.behavior_names == dataset.behavior_names
+        assert loaded.target_behavior == dataset.target_behavior
+        assert meta["has_timestamps"] is True
+        for behavior in dataset.behavior_names:
+            for got, want in zip(loaded.arrays(behavior),
+                                 dataset.arrays(behavior)):
+                np.testing.assert_array_equal(got, want)
+
+    def test_bytes_deterministic(self, tmp_path):
+        dataset = taobao_like(num_users=15, num_items=25, seed=5)
+        a = save_dataset_npz(dataset, tmp_path / "a.npz")
+        b = save_dataset_npz(dataset, tmp_path / "b.npz")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_rejects_foreign_zip(self, tmp_path):
+        path = tmp_path / "not_dataset.npz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("whatever.npy", b"junk")
+        with pytest.raises(ValueError, match="artifact"):
+            load_dataset_npz(path)
+
+    def test_rejects_bad_format_version(self, tmp_path):
+        path = tmp_path / "old.npz"
+        with zipfile.ZipFile(path, "w") as archive:
+            archive.writestr("meta.json", json.dumps({"format": "v0"}))
+        with pytest.raises(ValueError, match="format"):
+            load_dataset_npz(path)
+
+
+class TestIngestTransientMemory:
+    def test_transient_memory_bounded_by_chunk(self, tmp_path):
+        """10x more rows must not mean 10x more transient memory.
+
+        Transient = tracemalloc peak minus what remains allocated at the
+        end (the dataset itself): the chunked two-pass design keeps it
+        proportional to the chunk and the vocabularies, never the log.
+        """
+        import tracemalloc
+
+        small = _write_log(tmp_path / "small.csv",
+                           _random_log_rows(600, seed=1))
+        big = _write_log(tmp_path / "big.csv",
+                         _random_log_rows(6000, seed=2))
+
+        def transient(path):
+            tracemalloc.start()
+            try:
+                ingest_csv(path, name="m", target_behavior="buy",
+                           chunk_rows=500)
+                current, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+            return peak - current
+
+        small_transient = transient(small)
+        big_transient = transient(big)
+        assert big_transient < small_transient * 3, (
+            f"transient memory grew with the log: {small_transient} -> "
+            f"{big_transient} bytes for 10x the rows")

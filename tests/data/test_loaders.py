@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.data import load_interactions_csv, map_ratings_to_behaviors
+from repro.data import (
+    BadRowError,
+    load_interactions_csv,
+    load_interactions_csv_with_report,
+    map_ratings_to_behaviors,
+)
 
 
 class TestRatingMapping:
@@ -102,3 +107,98 @@ class TestCsvLoader:
 
         split = leave_one_out_split(data)
         assert len(split) > 0
+
+
+class TestBadRowPolicy:
+    """NaN/garbage ratings must never silently become 'neutral'."""
+
+    def test_nan_rating_raises_with_row_number(self, tmp_path):
+        path = tmp_path / "nan.csv"
+        path.write_text("user,item,rating\na,x,5\nb,y,nan\n")
+        with pytest.raises(BadRowError, match="row 2"):
+            load_interactions_csv(path, name="n", target_behavior="like",
+                                  behavior_col=None, rating_col="rating",
+                                  timestamp_col=None)
+
+    def test_garbage_rating_raises(self, tmp_path):
+        path = tmp_path / "g.csv"
+        path.write_text("user,item,rating\na,x,five\n")
+        with pytest.raises(BadRowError):
+            load_interactions_csv(path, name="g", target_behavior="like",
+                                  behavior_col=None, rating_col="rating",
+                                  timestamp_col=None)
+
+    def test_skip_mode_counts_drops(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text(
+            "user,item,rating\na,x,5\nb,y,nan\nc,z,inf\na,y,1\n")
+        data, report = load_interactions_csv_with_report(
+            path, name="s", target_behavior="like", behavior_col=None,
+            rating_col="rating", timestamp_col=None, on_bad_rows="skip")
+        assert data.interaction_count() == 2
+        assert report.rows_dropped_bad == 2
+        assert report.rows_read == 4
+        assert len(report.bad_row_examples) == 2
+        assert "row 2" in str(report.bad_row_examples[0])
+
+    def test_missing_required_column_raises(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("user,item,behavior\nu1,,buy\n")
+        with pytest.raises(BadRowError, match="row 1"):
+            load_interactions_csv(path, name="m", target_behavior="buy",
+                                  timestamp_col=None)
+
+    def test_bad_policy_value_rejected(self, tmp_path):
+        path = tmp_path / "p.csv"
+        path.write_text("user,item,behavior\nu1,i1,buy\n")
+        with pytest.raises(ValueError, match="on_bad_rows"):
+            load_interactions_csv(path, name="p", target_behavior="buy",
+                                  timestamp_col=None, on_bad_rows="ignore")
+
+
+class TestBehaviorFilterIndexing:
+    """Pinned regression: indices are built AFTER behavior filtering, so
+    rows dropped by the filter can't leave phantom users/items behind."""
+
+    def test_no_phantom_users_or_items(self, tmp_path):
+        path = tmp_path / "ph.csv"
+        path.write_text(
+            "user,item,behavior\n"
+            "u1,i1,view\n"
+            "ghost_user,ghost_item,weird\n"
+            "u1,i2,buy\n"
+            "u2,i1,buy\n")
+        data = load_interactions_csv(path, name="ph", target_behavior="buy",
+                                     behavior_names=("view", "buy"),
+                                     timestamp_col=None)
+        assert data.num_users == 2
+        assert data.num_items == 2
+
+    def test_filtered_drop_counts_reported(self, tmp_path):
+        path = tmp_path / "fc.csv"
+        path.write_text(
+            "user,item,behavior\n"
+            "u1,i1,view\nu1,i2,buy\nu2,i1,weird\nu3,i3,odd\nu2,i2,buy\n")
+        data, report = load_interactions_csv_with_report(
+            path, name="fc", target_behavior="buy",
+            behavior_names=("view", "buy"), timestamp_col=None)
+        assert report.rows_dropped_behavior == 2
+        assert report.rows_kept == 3
+        assert report.rows_read == 5
+        summary = report.as_dict()
+        assert summary["rows_dropped_behavior"] == 2
+
+    def test_first_seen_order_respects_filter(self, tmp_path):
+        """Dense ids follow first *surviving* appearance, not file order."""
+        path = tmp_path / "fo.csv"
+        path.write_text(
+            "user,item,behavior\n"
+            "zed,late,weird\n"   # filtered: must not claim id 0
+            "abe,early,buy\n"
+            "zed,late,buy\n")
+        data = load_interactions_csv(path, name="fo", target_behavior="buy",
+                                     behavior_names=("buy",),
+                                     timestamp_col=None)
+        users, items, _ = data.arrays("buy")
+        assert users.tolist() == [0, 1]
+        assert items.tolist() == [0, 1]

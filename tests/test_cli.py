@@ -119,3 +119,94 @@ class TestRecommend:
         payload = json.loads(capsys.readouterr().out)
         assert payload["num_users"] == 25
         assert payload["num_items"] == 60
+
+
+class TestScenarios:
+    def test_scenarios_table(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "tmall-like" in out and "gowalla-like" in out
+
+    def test_scenarios_json(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "tmall-like" in payload
+        assert payload["tmall-like"]["target"] == "buy"
+
+    def test_train_with_scenario(self, capsys):
+        code = main(["train", "--model", "BiasMF", "--scenario", "tmall-like",
+                     "--users", "25", "--items", "60", "--epochs", "1"])
+        assert code == 0
+        assert "HR@10" in capsys.readouterr().out
+
+    def test_train_temporal_split(self, capsys):
+        code = main(["train", "--model", "BiasMF", "--scenario",
+                     "gowalla-like", "--users", "25", "--items", "60",
+                     "--epochs", "1", "--split", "temporal"])
+        assert code == 0
+        assert "HR@10" in capsys.readouterr().out
+
+
+class TestIngest:
+    @pytest.fixture()
+    def event_log(self, tmp_path):
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        rows = ["user,item,behavior,timestamp"]
+        for _ in range(300):
+            behavior = ["click", "click", "cart", "buy"][rng.integers(0, 4)]
+            rows.append(f"u{rng.integers(0, 20)},i{rng.integers(0, 40)},"
+                        f"{behavior},{rng.integers(1, 9999)}")
+        path = tmp_path / "events.csv"
+        path.write_text("\n".join(rows) + "\n")
+        return path
+
+    def test_ingest_produces_artifact(self, event_log, tmp_path, capsys):
+        out = tmp_path / "events.npz"
+        code = main(["ingest", str(event_log), "--out", str(out),
+                     "--target", "buy", "--chunk-rows", "64"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows_kept"] == 300
+        assert payload["chunks"] == 5
+        assert out.exists()
+
+    def test_ingest_then_train_from_artifact(self, event_log, tmp_path,
+                                             capsys):
+        out = tmp_path / "events.npz"
+        assert main(["ingest", str(event_log), "--out", str(out),
+                     "--target", "buy"]) == 0
+        capsys.readouterr()
+        code = main(["train", "--model", "BiasMF", "--scenario", str(out),
+                     "--epochs", "1"])
+        assert code == 0
+        assert "HR@10" in capsys.readouterr().out
+
+    def test_ingest_reingest_byte_identical(self, event_log, tmp_path,
+                                            capsys):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        assert main(["ingest", str(event_log), "--out", str(a),
+                     "--target", "buy", "--chunk-rows", "50"]) == 0
+        assert main(["ingest", str(event_log), "--out", str(b),
+                     "--target", "buy", "--chunk-rows", "128"]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_ingest_missing_file_fails_cleanly(self, tmp_path, capsys):
+        code = main(["ingest", str(tmp_path / "absent.csv"),
+                     "--out", str(tmp_path / "x.npz"), "--target", "buy"])
+        assert code == 1
+        assert "ingest failed" in capsys.readouterr().err
+
+    def test_ingest_bad_rows_skip(self, tmp_path, capsys):
+        log = tmp_path / "bad.csv"
+        log.write_text("user,item,rating,timestamp\n"
+                       "a,x,5,1\na,y,nan,2\nb,x,4,3\nb,y,2,4\na,z,5,5\n")
+        out = tmp_path / "bad.npz"
+        code = main(["ingest", str(log), "--out", str(out), "--target",
+                     "like", "--rating-col", "rating",
+                     "--on-bad-rows", "skip"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows_dropped_bad"] == 1
